@@ -1,0 +1,112 @@
+//! Ordinary least squares.
+//!
+//! Figure 1 of the paper fits one *linear regression* per build chain and
+//! plots the learned weight of every contextual feature as a heatmap,
+//! motivating the embedding approach (the weights differ wildly per
+//! environment). OLS here is ridge with a vanishing regulariser, which
+//! also keeps it well-posed when a chain has collinear features.
+
+use env2vec_linalg::{Matrix, Result};
+
+use crate::ridge::Ridge;
+
+/// Regularisation used to stabilise the OLS solve on collinear data.
+const STABILISER: f64 = 1e-8;
+
+/// A fitted ordinary-least-squares model.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    inner: Ridge,
+}
+
+impl LinearRegression {
+    /// Fits OLS on rows of `x` against `y`.
+    ///
+    /// Returns an error for empty or mismatched data.
+    pub fn fit(x: &Matrix, y: &[f64]) -> Result<Self> {
+        Ok(LinearRegression {
+            inner: Ridge::fit(x, y, STABILISER)?,
+        })
+    }
+
+    /// Predicts the target for one raw sample.
+    ///
+    /// Returns an error when the feature count is wrong.
+    pub fn predict_one(&self, x: &[f64]) -> Result<f64> {
+        self.inner.predict_one(x)
+    }
+
+    /// Predicts targets for a matrix of raw samples.
+    ///
+    /// Returns an error when the feature count is wrong.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        self.inner.predict(x)
+    }
+
+    /// Coefficients in standardised feature space — the "importance"
+    /// values plotted in the paper's Figure 1 heatmap.
+    pub fn weights(&self) -> &[f64] {
+        self.inner.weights()
+    }
+
+    /// Residuals `|y - ŷ|` on the given data, for the Figure 1 boxplots.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn absolute_residuals(&self, x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+        let pred = self.predict(x)?;
+        Ok(pred.iter().zip(y).map(|(p, t)| (p - t).abs()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_linear_data() {
+        let x = Matrix::from_rows(
+            &(0..20)
+                .map(|i| vec![i as f64, (i * i % 7) as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..20)
+            .map(|i| 4.0 * i as f64 - 1.5 * ((i * i % 7) as f64) + 2.0)
+            .collect();
+        let model = LinearRegression::fit(&x, &y).unwrap();
+        let residuals = model.absolute_residuals(&x, &y).unwrap();
+        assert!(residuals.iter().all(|&r| r < 1e-6));
+    }
+
+    #[test]
+    fn survives_collinear_features() {
+        // Second feature is an exact copy of the first.
+        let x = Matrix::from_rows(
+            &(0..10)
+                .map(|i| vec![i as f64, i as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let model = LinearRegression::fit(&x, &y).unwrap();
+        let pred = model.predict(&x).unwrap();
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn weights_expose_feature_importance() {
+        // y depends only on feature 0 → |w0| >> |w1|.
+        let x = Matrix::from_rows(
+            &(0..30)
+                .map(|i| vec![(i % 9) as f64, ((i * 13) % 5) as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..30).map(|i| 10.0 * ((i % 9) as f64)).collect();
+        let model = LinearRegression::fit(&x, &y).unwrap();
+        let w = model.weights();
+        assert!(w[0].abs() > 100.0 * w[1].abs().max(1e-12));
+    }
+}

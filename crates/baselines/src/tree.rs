@@ -1,0 +1,394 @@
+//! CART regression trees.
+//!
+//! Building block for the `RFReg` baseline (§4.1.3): binary trees grown by
+//! greedy variance-reduction splitting, with the usual `max_depth` /
+//! `min_samples_split` / `min_samples_leaf` controls and optional
+//! per-split feature subsampling for forests.
+
+use env2vec_linalg::{Error, Matrix, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Growth limits for a regression tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0). The paper's grid searches 3..=10.
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split; `None` means all
+    /// (scikit-learn's regression default).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+/// One node of the flattened tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on all rows of `x`.
+    ///
+    /// Returns an error for empty or mismatched data.
+    pub fn fit(x: &Matrix, y: &[f64], config: &TreeConfig, rng: &mut impl Rng) -> Result<Self> {
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        Self::fit_on(x, y, &indices, config, rng)
+    }
+
+    /// Fits a tree on a subset of rows (used by bootstrap forests; indices
+    /// may repeat).
+    ///
+    /// Returns an error for empty `indices`, out-of-range indices, or
+    /// mismatched data.
+    pub fn fit_on(
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(Error::Empty {
+                routine: "tree fit",
+            });
+        }
+        if x.rows() != y.len() {
+            return Err(Error::ShapeMismatch {
+                op: "tree fit",
+                lhs: x.shape(),
+                rhs: (y.len(), 1),
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= x.rows()) {
+            return Err(Error::IndexOutOfBounds {
+                index: bad,
+                len: x.rows(),
+            });
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            num_features: x.cols(),
+        };
+        let mut work = indices.to_vec();
+        tree.grow(x, y, &mut work, 0, config, rng);
+        Ok(tree)
+    }
+
+    /// Recursively grows the subtree over `indices`, returning its node id.
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        let splittable = depth < config.max_depth
+            && indices.len() >= config.min_samples_split
+            && indices.len() >= 2 * config.min_samples_leaf;
+        let best = if splittable {
+            self.best_split(x, y, indices, config, rng)
+        } else {
+            None
+        };
+        let Some((feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        // Partition in place: left = values <= threshold.
+        let mut split_point = 0;
+        for i in 0..indices.len() {
+            if x.get(indices[i], feature) <= threshold {
+                indices.swap(i, split_point);
+                split_point += 1;
+            }
+        }
+        // Reserve our slot before growing children so ids stay stable.
+        self.nodes.push(Node::Leaf { value: mean });
+        let my_id = self.nodes.len() - 1;
+        let (left_idx, right_idx) = indices.split_at_mut(split_point);
+        let left = self.grow(x, y, left_idx, depth + 1, config, rng);
+        let right = self.grow(x, y, right_idx, depth + 1, config, rng);
+        self.nodes[my_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        my_id
+    }
+
+    /// Finds the `(feature, threshold)` maximising variance reduction, or
+    /// `None` when no admissible split improves on the parent.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Option<(usize, f64)> {
+        let n = indices.len() as f64;
+        let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+
+        let mut features: Vec<usize> = (0..x.cols()).collect();
+        if let Some(k) = config.max_features {
+            let k = k.clamp(1, x.cols());
+            features.shuffle(rng);
+            features.truncate(k);
+        }
+
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut order = indices.to_vec();
+        for &f in &features {
+            order.sort_by(|&a, &b| {
+                x.get(a, f)
+                    .partial_cmp(&x.get(b, f))
+                    .expect("finite feature values")
+            });
+            let mut left_sum = 0.0;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += y[i];
+                let nl = (pos + 1) as f64;
+                let nr = n - nl;
+                if (pos + 1) < config.min_samples_leaf
+                    || (order.len() - pos - 1) < config.min_samples_leaf
+                {
+                    continue;
+                }
+                let v = x.get(i, f);
+                let v_next = x.get(order[pos + 1], f);
+                if v == v_next {
+                    // Cannot split between equal values.
+                    continue;
+                }
+                // Maximising Σl²/nl + Σr²/nr minimises the children's SSE.
+                let right_sum = total_sum - left_sum;
+                let score = left_sum * left_sum / nl + right_sum * right_sum / nr;
+                if best.map(|(s, _, _)| score > s).unwrap_or(true) {
+                    best = Some((score, f, 0.5 * (v + v_next)));
+                }
+            }
+        }
+        // Only split when it actually reduces SSE versus the parent mean.
+        best.and_then(|(score, f, t)| {
+            let parent_score = total_sum * total_sum / n;
+            (score > parent_score + 1e-12).then_some((f, t))
+        })
+    }
+
+    /// Predicts one sample.
+    ///
+    /// Returns an error when the feature count is wrong.
+    pub fn predict_one(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.num_features {
+            return Err(Error::ShapeMismatch {
+                op: "tree predict",
+                lhs: (1, x.len()),
+                rhs: (1, self.num_features),
+            });
+        }
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts every row of a matrix.
+    ///
+    /// Returns an error when the feature count is wrong.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 0 for x < 5, y = 10 for x >= 5: one split suffices.
+        let x = Matrix::from_rows(&(0..10).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let (x, y) = step_data();
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng()).unwrap();
+        for i in 0..10 {
+            assert_eq!(tree.predict_one(&[i as f64]).unwrap(), y[i]);
+        }
+    }
+
+    #[test]
+    fn depth_zero_gives_mean_stump() {
+        let (x, y) = step_data();
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &config, &mut rng()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_one(&[3.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x = Matrix::from_rows(&(0..64).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        let y: Vec<f64> = (0..64).map(|i| (i % 8) as f64).collect();
+        let config = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &config, &mut rng()).unwrap();
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let (x, y) = step_data();
+        let config = TreeConfig {
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &config, &mut rng()).unwrap();
+        // The only admissible split is exactly at 5/5.
+        assert_eq!(tree.num_nodes(), 3);
+        assert_eq!(tree.predict_one(&[0.0]).unwrap(), 0.0);
+        assert_eq!(tree.predict_one(&[9.0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = Matrix::from_rows(&(0..10).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        let y = vec![3.0; 10];
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_one(&[100.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn picks_informative_feature() {
+        // Feature 1 is pure noise; feature 0 defines the target.
+        let x = Matrix::from_rows(
+            &(0..20)
+                .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { -1.0 } else { 1.0 }).collect();
+        let config = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &config, &mut rng()).unwrap();
+        match &tree.nodes[0] {
+            Node::Split { feature, .. } => assert_eq!(*feature, 0),
+            Node::Leaf { .. } => panic!("expected a split"),
+        }
+    }
+
+    #[test]
+    fn fit_on_subset_ignores_other_rows() {
+        let (x, y) = step_data();
+        // Only the low half: tree must predict 0 everywhere.
+        let tree =
+            RegressionTree::fit_on(&x, &y, &[0, 1, 2, 3, 4], &TreeConfig::default(), &mut rng())
+                .unwrap();
+        assert_eq!(tree.predict_one(&[9.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let (x, y) = step_data();
+        assert!(RegressionTree::fit_on(&x, &y, &[], &TreeConfig::default(), &mut rng()).is_err());
+        assert!(RegressionTree::fit_on(&x, &y, &[99], &TreeConfig::default(), &mut rng()).is_err());
+        assert!(RegressionTree::fit(&x, &y[..5], &TreeConfig::default(), &mut rng()).is_err());
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng()).unwrap();
+        assert!(tree.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn nonlinear_fit_beats_global_mean() {
+        let x = Matrix::from_rows(&(0..100).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>())
+            .unwrap();
+        let y: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin() * 5.0).collect();
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng()).unwrap();
+        let pred = tree.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sse_tree: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum();
+        let sse_mean: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+        assert!(sse_tree < sse_mean / 20.0);
+    }
+}

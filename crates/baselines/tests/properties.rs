@@ -1,0 +1,132 @@
+//! Property-based tests for the classical-ML baselines.
+
+use env2vec_baselines::forest::{ForestConfig, RandomForest};
+use env2vec_baselines::ridge::{append_history, Ridge};
+use env2vec_baselines::svr::{Kernel, Svr, SvrConfig};
+use env2vec_baselines::tree::{RegressionTree, TreeConfig};
+use env2vec_linalg::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic feature matrix with mild collinearity.
+fn features(n: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(n, 3, |i, j| {
+        let base = ((i as u64 * 31 + j as u64 * 17 + seed) % 23) as f64;
+        base * 0.4 + (i as f64 * 0.1) * (j as f64)
+    })
+}
+
+proptest! {
+    /// Ridge predictions are invariant to affine rescaling of a feature
+    /// column (the internal standardiser must absorb units).
+    #[test]
+    fn ridge_invariant_to_feature_scaling(seed in 0u64..200, scale in 1.0f64..1000.0) {
+        let n = 40;
+        let x = features(n, seed);
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * x.get(i, 0) - x.get(i, 1) + 0.5 * x.get(i, 2) + 10.0)
+            .collect();
+        let rescaled = Matrix::from_fn(n, 3, |i, j| {
+            if j == 1 { x.get(i, j) * scale } else { x.get(i, j) }
+        });
+        let a = Ridge::fit(&x, &y, 1.0).unwrap();
+        let b = Ridge::fit(&rescaled, &y, 1.0).unwrap();
+        let pa = a.predict(&x).unwrap();
+        let pb = b.predict(&rescaled).unwrap();
+        for (u, v) in pa.iter().zip(&pb) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    /// Ridge shrinkage: the coefficient norm is non-increasing in alpha.
+    #[test]
+    fn ridge_norm_monotone_in_alpha(seed in 0u64..200) {
+        let n = 40;
+        let x = features(n, seed);
+        let y: Vec<f64> = (0..n).map(|i| x.get(i, 0) * 3.0 - 5.0).collect();
+        let mut last = f64::INFINITY;
+        for alpha in [0.01, 1.0, 100.0, 10_000.0] {
+            let m = Ridge::fit(&x, &y, alpha).unwrap();
+            let norm: f64 = m.weights().iter().map(|w| w * w).sum();
+            prop_assert!(norm <= last + 1e-9);
+            last = norm;
+        }
+    }
+
+    /// Tree and forest predictions never leave the training-target range
+    /// (they are averages of training values).
+    #[test]
+    fn tree_and_forest_predict_within_target_range(
+        seed in 0u64..200,
+        query in -100.0f64..100.0,
+    ) {
+        let n = 50;
+        let x = features(n, seed);
+        let y: Vec<f64> = (0..n).map(|i| ((i as u64 * 13 + seed) % 37) as f64).collect();
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let q = [query, query * 0.5, query + 1.0];
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng).unwrap();
+        let p = tree.predict_one(&q).unwrap();
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig { n_estimators: 5, seed, ..ForestConfig::default() },
+        )
+        .unwrap();
+        let p = forest.predict_one(&q).unwrap();
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// append_history alignment: the first history column of row i equals
+    /// the target of row i - window (for any window).
+    #[test]
+    fn append_history_alignment(window in 1usize..4, seed in 0u64..100) {
+        let n = 20;
+        let x = features(n, seed);
+        let y: Vec<f64> = (0..n).map(|i| (i * i % 17) as f64).collect();
+        let (ax, ay, offset) = append_history(&x, &y, window).unwrap();
+        prop_assert_eq!(offset, window);
+        prop_assert_eq!(ax.rows(), n - window);
+        for i in 0..ax.rows() {
+            // Most recent history feature is y[t-1].
+            prop_assert_eq!(ax.get(i, x.cols()), y[i + window - 1]);
+            // Oldest is y[t-window].
+            prop_assert_eq!(ax.get(i, x.cols() + window - 1), y[i]);
+            prop_assert_eq!(ay[i], y[i + window]);
+        }
+    }
+
+    /// SVR with a larger epsilon tube never has more support vectors than
+    /// with a smaller one (looser tube → fewer active constraints).
+    #[test]
+    fn svr_support_vectors_shrink_with_epsilon(seed in 0u64..50) {
+        let n = 30;
+        let x = features(n, seed);
+        let y: Vec<f64> = (0..n).map(|i| 4.0 * x.get(i, 0) - x.get(i, 2)).collect();
+        let tight = Svr::fit(&x, &y, &SvrConfig::new(10.0, 0.05, Kernel::Linear)).unwrap();
+        let loose = Svr::fit(&x, &y, &SvrConfig::new(10.0, 2.0, Kernel::Linear)).unwrap();
+        prop_assert!(loose.num_support_vectors() <= tight.num_support_vectors() + 2);
+    }
+
+    /// RBF kernel is bounded in (0, 1] and maximal at zero distance.
+    #[test]
+    fn rbf_kernel_bounds(
+        a in proptest::collection::vec(-5.0f64..5.0, 3),
+        b in proptest::collection::vec(-5.0f64..5.0, 3),
+        gamma in 0.01f64..5.0,
+    ) {
+        let k = Kernel::Rbf { gamma };
+        let kab = k.eval(&a, &b).unwrap();
+        // exp(-gamma d^2) can underflow to exactly 0.0 for far points.
+        prop_assert!((0.0..=1.0).contains(&kab));
+        let kaa = k.eval(&a, &a).unwrap();
+        prop_assert!((kaa - 1.0).abs() < 1e-12);
+        prop_assert!(kab <= kaa + 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 1 benchmark: fitting one per-chain linear model (the paper
+//! motivates Env2Vec by fitting 125 of these).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec_baselines::linear::LinearRegression;
+use env2vec_datagen::telecom::{TelecomConfig, TelecomDataset};
+
+fn bench_fig1(c: &mut Criterion) {
+    let ds = TelecomDataset::generate(TelecomConfig::small());
+    let chain = &ds.chains[0];
+    let ex = &chain.executions[0];
+
+    c.bench_function("fig1_linear_fit_one_chain", |bench| {
+        bench.iter(|| black_box(LinearRegression::fit(&ex.cf, &ex.cpu).expect("fits")))
+    });
+
+    let model = LinearRegression::fit(&ex.cf, &ex.cpu).expect("fits");
+    c.bench_function("fig1_residuals_one_chain", |bench| {
+        bench.iter(|| black_box(model.absolute_residuals(&ex.cf, &ex.cpu).expect("sized")))
+    });
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

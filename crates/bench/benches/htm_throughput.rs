@@ -1,0 +1,40 @@
+//! HTM-AD throughput: readings per second the baseline detector sustains.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec_htm::{HtmAnomalyDetector, HtmConfig};
+
+fn bench_htm(c: &mut Criterion) {
+    c.bench_function("htm_process_100_readings_warm", |bench| {
+        // Warm the detector outside the measurement so the bench captures
+        // steady-state throughput, not initial segment growth.
+        let mut det = HtmAnomalyDetector::new(HtmConfig::for_range(0.0, 100.0));
+        for i in 0..500 {
+            det.process(50.0 + 20.0 * ((i % 24) as f64 / 24.0));
+        }
+        let mut t = 0u64;
+        bench.iter(|| {
+            let mut last = 0.0;
+            for _ in 0..100 {
+                t += 1;
+                last = det
+                    .process(50.0 + 20.0 * ((t % 24) as f64 / 24.0))
+                    .raw_score;
+            }
+            black_box(last)
+        })
+    });
+
+    c.bench_function("htm_cold_start_200_readings", |bench| {
+        bench.iter(|| {
+            let mut det = HtmAnomalyDetector::new(HtmConfig::for_range(0.0, 100.0));
+            let mut last = 0.0;
+            for i in 0..200 {
+                last = det.process((i % 90) as f64).raw_score;
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group!(benches, bench_htm);
+criterion_main!(benches);

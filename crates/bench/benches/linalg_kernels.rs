@@ -1,0 +1,43 @@
+//! Microbenchmarks for the linear-algebra substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec_linalg::cholesky::Cholesky;
+use env2vec_linalg::eigen::symmetric_eigen;
+use env2vec_linalg::Matrix;
+
+fn spd(n: usize) -> Matrix {
+    let m = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+    let mut s = m.matmul(&m.transpose()).expect("square");
+    for i in 0..n {
+        let v = s.get(i, i) + n as f64;
+        s.set(i, i, v);
+    }
+    s
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 86, |i, j| ((i + j) % 7) as f64);
+    let b = Matrix::from_fn(86, 64, |i, j| ((i * j) % 5) as f64);
+    c.bench_function("matmul_64x86x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).expect("compatible")))
+    });
+
+    let g = spd(86);
+    c.bench_function("cholesky_86", |bench| {
+        bench.iter(|| black_box(Cholesky::decompose(&g).expect("SPD")))
+    });
+
+    let rhs: Vec<f64> = (0..86).map(|i| (i as f64 * 0.3).sin()).collect();
+    let ch = Cholesky::decompose(&g).expect("SPD");
+    c.bench_function("cholesky_solve_86", |bench| {
+        bench.iter(|| black_box(ch.solve(&rhs).expect("sized")))
+    });
+
+    let sym = spd(40);
+    c.bench_function("jacobi_eigen_40", |bench| {
+        bench.iter(|| black_box(symmetric_eigen(&sym).expect("symmetric")))
+    });
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks for the autodiff engine: one Env2Vec training step and one
+//! inference pass at the production batch size.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec::config::Env2VecConfig;
+use env2vec::dataframe::Dataframe;
+use env2vec::model::Env2VecModel;
+use env2vec::train::train_env2vec;
+use env2vec::vocab::EmVocabulary;
+use env2vec_linalg::Matrix;
+
+fn batch(n: usize, vocab: &mut EmVocabulary) -> Dataframe {
+    let cf = Matrix::from_fn(n + 2, 14, |i, j| ((i * (j + 3)) % 11) as f64);
+    let ru: Vec<f64> = (0..n + 2).map(|i| 40.0 + ((i * 7) % 13) as f64).collect();
+    Dataframe::from_series(&cf, &ru, &["tb", "sut", "tc", "b"], 2, vocab).expect("sized")
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut vocab = EmVocabulary::telecom();
+    let df = batch(256, &mut vocab);
+    let cfg = Env2VecConfig {
+        max_epochs: 1,
+        ..Env2VecConfig::default()
+    };
+
+    c.bench_function("env2vec_one_epoch_256rows", |bench| {
+        bench.iter(|| {
+            let (train, val) = df.split_validation(0.2).expect("splittable");
+            black_box(train_env2vec(cfg, vocab.clone(), &train, &val).expect("trains"))
+        })
+    });
+
+    let model = Env2VecModel::new(cfg, vocab.clone(), &df).expect("valid");
+    c.bench_function("env2vec_predict_256rows", |bench| {
+        bench.iter(|| black_box(model.predict(&df).expect("predicts")))
+    });
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 4 benchmark: per-method training cost on a KDN-sized dataset.
+//!
+//! The paper's §6 contrasts "less than 1 second" ridge fits against
+//! periodic neural-network training; this bench quantifies both on the
+//! same data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec_baselines::forest::{ForestConfig, RandomForest};
+use env2vec_baselines::ridge::{append_history, Ridge};
+use env2vec_baselines::svr::{Kernel, Svr, SvrConfig};
+use env2vec_baselines::tree::TreeConfig;
+use env2vec_datagen::kdn::{KdnDataset, Vnf};
+
+fn bench_table4(c: &mut Criterion) {
+    // A reduced Snort dataset keeps single iterations sub-second.
+    let ds = KdnDataset::generate_sized(Vnf::Snort, 400, 300, 50, 50, 7);
+    let (x, y) = ds.train();
+
+    c.bench_function("table4_ridge_fit", |bench| {
+        bench.iter(|| black_box(Ridge::fit(&x, y, 1.0).expect("fits")))
+    });
+
+    c.bench_function("table4_ridge_ts_fit", |bench| {
+        bench.iter(|| {
+            let (ax, ay, _) = append_history(&x, y, 2).expect("long enough");
+            black_box(Ridge::fit(&ax, &ay, 1.0).expect("fits"))
+        })
+    });
+
+    c.bench_function("table4_forest_fit_10trees_d6", |bench| {
+        bench.iter(|| {
+            black_box(
+                RandomForest::fit(
+                    &x,
+                    y,
+                    &ForestConfig {
+                        n_estimators: 10,
+                        tree: TreeConfig {
+                            max_depth: 6,
+                            ..TreeConfig::default()
+                        },
+                        seed: 1,
+                    },
+                )
+                .expect("fits"),
+            )
+        })
+    });
+
+    c.bench_function("table4_svr_fit_rbf", |bench| {
+        bench.iter(|| {
+            black_box(
+                Svr::fit(
+                    &x,
+                    y,
+                    &SvrConfig::new(1.0, 0.5, Kernel::Rbf { gamma: 1.0 / 86.0 }),
+                )
+                .expect("fits"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

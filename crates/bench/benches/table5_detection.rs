@@ -1,0 +1,46 @@
+//! Table 5 benchmark: the cost of screening one new build for anomalies —
+//! the latency a testing engineer experiences per execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec::anomaly::AnomalyDetector;
+use env2vec_linalg::stats::Gaussian;
+
+fn bench_detection(c: &mut Criterion) {
+    // A realistic screened execution: 640 timesteps, a few injected
+    // deviations.
+    let n = 640;
+    let predicted: Vec<f64> = (0..n)
+        .map(|t| 50.0 + (t as f64 * 0.1).sin() * 8.0)
+        .collect();
+    let mut observed = predicted.clone();
+    for v in &mut observed[200..215] {
+        *v += 18.0;
+    }
+    for v in &mut observed[500..504] {
+        *v += 25.0;
+    }
+    let dist = Gaussian {
+        mean: 0.0,
+        std_dev: 1.5,
+    };
+
+    c.bench_function("table5_fit_error_distribution_1920pts", |bench| {
+        let hist_pred: Vec<f64> = predicted.iter().cycle().take(3 * n).copied().collect();
+        let hist_obs: Vec<f64> = hist_pred.iter().map(|p| p + 0.4).collect();
+        bench.iter(|| {
+            black_box(
+                AnomalyDetector::fit_error_distribution(&hist_pred, &hist_obs).expect("non-empty"),
+            )
+        })
+    });
+
+    for gamma in [1.0, 2.0, 3.0] {
+        c.bench_function(&format!("table5_detect_gamma{gamma}_640pts"), |bench| {
+            let det = AnomalyDetector::new(gamma);
+            bench.iter(|| black_box(det.detect(&dist, &predicted, &observed).expect("sized")))
+        });
+    }
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! TSDB benchmarks: ingest and query rates for the Prometheus stand-in.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec_telemetry::labels::{LabelMatcher, LabelSet};
+use env2vec_telemetry::tsdb::{Sample, TimeSeriesDb};
+
+fn filled(series: usize, points: usize) -> TimeSeriesDb {
+    let db = TimeSeriesDb::new();
+    for s in 0..series {
+        let labels = LabelSet::new().with("env", format!("EM_{s:04}"));
+        let samples: Vec<Sample> = (0..points)
+            .map(|t| Sample {
+                timestamp: t as i64,
+                value: (s * t) as f64,
+            })
+            .collect();
+        db.append_series("cpu_usage", &labels, &samples);
+    }
+    db
+}
+
+fn bench_tsdb(c: &mut Criterion) {
+    c.bench_function("tsdb_append_1k_samples", |bench| {
+        bench.iter(|| {
+            let db = TimeSeriesDb::new();
+            let labels = LabelSet::new().with("env", "EM_0001");
+            for t in 0..1000 {
+                db.append(
+                    "cpu_usage",
+                    &labels,
+                    Sample {
+                        timestamp: t,
+                        value: t as f64,
+                    },
+                );
+            }
+            black_box(db.num_samples())
+        })
+    });
+
+    let db = filled(125, 640);
+    c.bench_function("tsdb_range_query_one_env_of_125", |bench| {
+        let m = [LabelMatcher::eq("env", "EM_0042")];
+        bench.iter(|| black_box(db.query_range("cpu_usage", &m, 100, 500)))
+    });
+
+    c.bench_function("tsdb_instant_query_all_125_series", |bench| {
+        bench.iter(|| black_box(db.query_instant("cpu_usage", &[], 639)))
+    });
+}
+
+criterion_group!(benches, bench_tsdb);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! `repro` — regenerates every table and figure of the Env2Vec paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--fast|--full] [--seed N] [--runs N] <experiment>...
+//! repro all              # every experiment in paper order
+//! ```
+//!
+//! Experiments: `fig1`, `table3`, `table4`, `fig3`, `fig4`, `table5`,
+//! `table6`, `table7`, `fig6`, `timing`, `ablation`, `finetune`.
+//!
+//! `--fast` shrinks datasets/grids for a smoke run (minutes); the default
+//! preset uses the paper's 125 build chains at reduced execution length;
+//! `--full` additionally averages neural methods over 10 runs.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use env2vec_eval::experiments::{
+    ablation, fig1, fig3, fig4, fig6, finetune, table3, table4, table5, table6, table7,
+    timing,
+};
+use env2vec_eval::telecom_study::TelecomStudy;
+use env2vec_eval::EvalOptions;
+
+/// Experiments in the paper's presentation order.
+const ALL: [&str; 12] = [
+    "fig1", "table3", "table4", "fig3", "fig4", "table5", "table6", "table7", "fig6", "timing",
+    "ablation", "finetune",
+];
+
+const NEEDS_STUDY: [&str; 10] = [
+    "fig1", "fig3", "fig4", "table5", "table6", "table7", "fig6", "timing", "ablation",
+    "finetune",
+];
+
+fn usage() -> &'static str {
+    "usage: repro [--fast|--full] [--seed N] [--runs N] <experiment>...\n\
+     experiments: fig1 table3 table4 fig3 fig4 table5 table6 table7 fig6 timing ablation finetune | all"
+}
+
+fn main() -> ExitCode {
+    let mut opts = EvalOptions::standard();
+    let mut chosen: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => {
+                opts = EvalOptions {
+                    fast: true,
+                    runs: 2,
+                    ..opts
+                }
+            }
+            "--full" => {
+                opts = EvalOptions {
+                    fast: false,
+                    runs: 10,
+                    ..opts
+                }
+            }
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => opts.seed = seed,
+                None => {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--runs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(runs) => opts.runs = runs,
+                None => {
+                    eprintln!("--runs needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if ALL.contains(&other) => chosen.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if chosen.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "Env2Vec reproduction harness (preset: {}, runs: {}, seed: {})\n",
+        if opts.fast { "fast" } else { "standard" },
+        opts.runs,
+        opts.seed
+    );
+
+    // Build the shared telecom study once if any experiment needs it.
+    let study = if chosen.iter().any(|c| NEEDS_STUDY.contains(&c.as_str())) {
+        let t0 = Instant::now();
+        println!("[setup] generating telecom dataset and training shared models...");
+        match TelecomStudy::build(&opts) {
+            Ok(study) => {
+                println!(
+                    "[setup] done in {:.1} s ({} chains, {} timesteps, {} Env2Vec weights)\n",
+                    t0.elapsed().as_secs_f64(),
+                    study.dataset.chains.len(),
+                    study.dataset.total_timesteps(),
+                    study.env2vec.params().num_weights(),
+                );
+                Some(study)
+            }
+            Err(e) => {
+                eprintln!("failed to build telecom study: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    for name in &chosen {
+        let t0 = Instant::now();
+        let result = match name.as_str() {
+            "table3" => table3::run(&opts),
+            "table4" => table4::run(&opts),
+            "fig1" => fig1::run(study.as_ref().expect("study built")),
+            "fig3" => fig3::run(study.as_ref().expect("study built")),
+            "fig4" => fig4::run(study.as_ref().expect("study built")),
+            "table5" => table5::run(study.as_ref().expect("study built")),
+            "table6" => table6::run(study.as_ref().expect("study built")),
+            "table7" => table7::run(study.as_ref().expect("study built")),
+            "fig6" => fig6::run(study.as_ref().expect("study built")),
+            "timing" => timing::run(study.as_ref().expect("study built")),
+            "ablation" => ablation::run(study.as_ref().expect("study built")),
+            "finetune" => finetune::run(study.as_ref().expect("study built")),
+            _ => unreachable!("validated above"),
+        };
+        match result {
+            Ok(text) => {
+                println!("=== {name} ({:.1} s) ===\n", t0.elapsed().as_secs_f64());
+                println!("{text}");
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

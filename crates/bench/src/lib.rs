@@ -1,0 +1,7 @@
+//! Benchmark harness crate.
+//!
+//! Holds the Criterion benchmarks (`benches/`) and the `repro` binary
+//! that regenerates every table and figure of the paper. See the
+//! workspace `DESIGN.md` for the experiment index.
+
+#![warn(missing_docs)]

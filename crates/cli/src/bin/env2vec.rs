@@ -1,0 +1,139 @@
+//! `env2vec` — command-line front end for the Env2Vec library.
+//!
+//! ```text
+//! env2vec generate --preset small|medium|paper [--seed N] --out dataset.json
+//! env2vec train    --dataset dataset.json [--epochs N] [--seed N] --out model.json
+//! env2vec screen   --dataset dataset.json --model model.json [--gamma G] --out alarms.json
+//! env2vec embed    --model model.json --testbed T --sut S --testcase C --build B
+//! env2vec info     --model model.json
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage:\n  env2vec generate --preset small|medium|paper [--seed N] --out FILE\n  \
+     env2vec train    --dataset FILE [--epochs N] [--seed N] --out FILE\n  \
+     env2vec screen   --dataset FILE --model FILE [--gamma G] --out FILE\n  \
+     env2vec embed    --model FILE --testbed T --sut S --testcase C --build B\n  \
+     env2vec info     --model FILE"
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn parse_opt<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{key} has an invalid value '{v}'")),
+    }
+}
+
+/// Prints to stdout, ignoring broken pipes (e.g. `env2vec info | head`).
+fn emit(text: &str) {
+    let _ = writeln!(std::io::stdout(), "{text}");
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage().to_string());
+    };
+    let flags = parse_flags(rest)?;
+    let read = |key: &str| -> Result<String, String> {
+        let path = require(&flags, key)?;
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    };
+    let write = |content: &str| -> Result<(), String> {
+        let path = require(&flags, "out")?;
+        std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        Ok(())
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let json =
+                env2vec_cli::generate(require(&flags, "preset")?, parse_opt(&flags, "seed")?)
+                    .map_err(|e| e.to_string())?;
+            write(&json)
+        }
+        "train" => {
+            let (model, summary) = env2vec_cli::train(
+                &read("dataset")?,
+                parse_opt(&flags, "epochs")?,
+                parse_opt(&flags, "seed")?,
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!("{summary}");
+            write(&model)
+        }
+        "screen" => {
+            let gamma = parse_opt(&flags, "gamma")?.unwrap_or(2.0);
+            let (alarms, summary) = env2vec_cli::screen(&read("dataset")?, &read("model")?, gamma)
+                .map_err(|e| e.to_string())?;
+            eprintln!("{summary}");
+            write(&alarms)
+        }
+        "embed" => {
+            let out = env2vec_cli::embed(
+                &read("model")?,
+                require(&flags, "testbed")?,
+                require(&flags, "sut")?,
+                require(&flags, "testcase")?,
+                require(&flags, "build")?,
+            )
+            .map_err(|e| e.to_string())?;
+            emit(&out);
+            Ok(())
+        }
+        "info" => {
+            let out = env2vec_cli::info(&read("model")?).map_err(|e| e.to_string())?;
+            emit(&out);
+            Ok(())
+        }
+        "-h" | "--help" => {
+            emit(usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Library backing the `env2vec` command-line tool.
+//!
+//! Each subcommand is a plain function over values (JSON strings in,
+//! JSON/plain strings out) so the whole tool is unit-testable without a
+//! process boundary; `src/bin/env2vec.rs` only parses arguments and does
+//! file I/O. Alarm output uses a stable JSON schema (see [`AlarmRecord`])
+//! suitable for piping into downstream tooling.
+
+#![warn(missing_docs)]
+
+use env2vec::anomaly::AnomalyDetector;
+use env2vec::config::Env2VecConfig;
+use env2vec::dataframe::Dataframe;
+use env2vec::serialize::{load_model, save_model};
+use env2vec::train::train_env2vec;
+use env2vec::vocab::EmVocabulary;
+use env2vec::Env2VecModel;
+use env2vec_datagen::telecom::{BuildChain, TelecomConfig, TelecomDataset};
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<env2vec_linalg::Error> for CliError {
+    fn from(e: env2vec_linalg::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Dataset preset names accepted by `generate`.
+pub fn preset(name: &str) -> Result<TelecomConfig> {
+    match name {
+        "small" => Ok(TelecomConfig::small()),
+        "medium" => Ok(TelecomConfig::medium()),
+        "paper" => Ok(TelecomConfig::paper()),
+        other => Err(CliError(format!(
+            "unknown preset '{other}' (expected small|medium|paper)"
+        ))),
+    }
+}
+
+/// `generate`: produces a synthetic testing campaign as JSON.
+pub fn generate(preset_name: &str, seed: Option<u64>) -> Result<String> {
+    let mut cfg = preset(preset_name)?;
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let dataset = TelecomDataset::generate(cfg);
+    serde_json::to_string(&dataset).map_err(|e| CliError(e.to_string()))
+}
+
+/// Parses a dataset produced by [`generate`].
+pub fn parse_dataset(json: &str) -> Result<TelecomDataset> {
+    serde_json::from_str(json).map_err(|e| CliError(format!("malformed dataset JSON: {e}")))
+}
+
+/// `train`: fits an Env2Vec model on every chain's historical builds.
+///
+/// Returns `(model_json, summary_line)`.
+pub fn train(
+    dataset_json: &str,
+    epochs: Option<usize>,
+    seed: Option<u64>,
+) -> Result<(String, String)> {
+    let dataset = parse_dataset(dataset_json)?;
+    let mut config = Env2VecConfig::default();
+    if let Some(epochs) = epochs {
+        config.max_epochs = epochs;
+    }
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let window = config.history_window;
+
+    let mut vocab = EmVocabulary::telecom();
+    let mut trains = Vec::new();
+    let mut vals = Vec::new();
+    for chain in &dataset.chains {
+        for ex in chain.history() {
+            let df =
+                Dataframe::from_series(&ex.cf, &ex.cpu, &ex.labels.values(), window, &mut vocab)?;
+            let (t, v) = df.split_validation(0.15)?;
+            trains.push(t);
+            vals.push(v);
+        }
+    }
+    let train_df = Dataframe::concat(&trains)?;
+    let val_df = Dataframe::concat(&vals)?;
+    let (model, report) = train_env2vec(config, vocab, &train_df, &val_df)?;
+    let summary = format!(
+        "trained on {} rows from {} chains; {} weights; best epoch {} (val MSE {:.5})",
+        train_df.len(),
+        dataset.chains.len(),
+        model.params().num_weights(),
+        report.best_epoch,
+        report.val_losses[report.best_epoch],
+    );
+    Ok((save_model(&model), summary))
+}
+
+/// One alarm in the `screen` output schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlarmRecord {
+    /// Chain the alarm belongs to.
+    pub chain_id: usize,
+    /// Testbed of the screened execution.
+    pub testbed: String,
+    /// Build under test.
+    pub build: String,
+    /// First anomalous timestep (raw execution coordinates).
+    pub start: usize,
+    /// Last anomalous timestep (inclusive).
+    pub end: usize,
+    /// Model prediction at the peak deviation.
+    pub predicted: f64,
+    /// Observation at the peak deviation.
+    pub observed: f64,
+    /// γ used.
+    pub gamma: f64,
+}
+
+/// `screen`: scores every chain's current build against its history.
+///
+/// Returns `(alarms_json, summary_line)`.
+pub fn screen(dataset_json: &str, model_json: &str, gamma: f64) -> Result<(String, String)> {
+    let dataset = parse_dataset(dataset_json)?;
+    let model = load_model(model_json)?;
+    let detector = AnomalyDetector::new(gamma);
+    let mut alarms = Vec::new();
+    for chain in &dataset.chains {
+        alarms.extend(screen_chain(&model, chain, &detector)?);
+    }
+    let summary = format!(
+        "screened {} chains at gamma = {gamma}: {} alarms",
+        dataset.chains.len(),
+        alarms.len()
+    );
+    let json = serde_json::to_string_pretty(&alarms).map_err(|e| CliError(e.to_string()))?;
+    Ok((json, summary))
+}
+
+/// Screens one chain, returning its alarm records.
+fn screen_chain(
+    model: &Env2VecModel,
+    chain: &BuildChain,
+    detector: &AnomalyDetector,
+) -> Result<Vec<AlarmRecord>> {
+    let window = model.config.history_window;
+    let mut pred_hist = Vec::new();
+    let mut obs_hist = Vec::new();
+    for ex in chain.history() {
+        let df = Dataframe::from_series_frozen(
+            &ex.cf,
+            &ex.cpu,
+            &ex.labels.values(),
+            window,
+            model.vocab(),
+        )?;
+        pred_hist.extend(model.predict(&df)?);
+        obs_hist.extend_from_slice(&df.target);
+    }
+    let dist = AnomalyDetector::fit_error_distribution(&pred_hist, &obs_hist)?;
+    let current = chain.current();
+    let df = Dataframe::from_series_frozen(
+        &current.cf,
+        &current.cpu,
+        &current.labels.values(),
+        window,
+        model.vocab(),
+    )?;
+    let predicted = model.predict(&df)?;
+    Ok(detector
+        .detect(&dist, &predicted, &df.target)?
+        .into_iter()
+        .map(|iv| AlarmRecord {
+            chain_id: chain.id,
+            testbed: chain.testbed.clone(),
+            build: current.labels.build.clone(),
+            start: iv.start + window,
+            end: iv.end - 1 + window,
+            predicted: iv.predicted_at_peak,
+            observed: iv.observed_at_peak,
+            gamma: detector.gamma,
+        })
+        .collect())
+}
+
+/// `embed`: prints the concatenated environment embedding of an EM tuple.
+pub fn embed(
+    model_json: &str,
+    testbed: &str,
+    sut: &str,
+    testcase: &str,
+    build: &str,
+) -> Result<String> {
+    let model = load_model(model_json)?;
+    let e = model.environment_embedding(&[testbed, sut, testcase, build])?;
+    let formatted: Vec<String> = e.iter().map(|v| format!("{v:.4}")).collect();
+    Ok(format!(
+        "environment <{testbed}, {sut}, {testcase}, {build}>\nembedding ({} dims): [{}]",
+        e.len(),
+        formatted.join(", ")
+    ))
+}
+
+/// `info`: summarises a saved model.
+pub fn info(model_json: &str) -> Result<String> {
+    let model = load_model(model_json)?;
+    let vocab = model.vocab();
+    let vocab_lines: Vec<String> = (0..vocab.num_features())
+        .map(|f| {
+            format!(
+                "  {:<10} {} known values",
+                vocab.feature_names()[f],
+                vocab.feature(f).len()
+            )
+        })
+        .collect();
+    Ok(format!(
+        "Env2Vec model\n  weights:      {}\n  CF features:  {}\n  history:      {} steps\n  embedding:    {} dims/feature\n  combination:  {:?}\n  attention:    {}\nEM vocabulary:\n{}",
+        model.params().num_weights(),
+        model.num_cf(),
+        model.config.history_window,
+        model.config.embedding_dim,
+        model.config.combination,
+        model.config.attention,
+        vocab_lines.join("\n"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset_json() -> String {
+        let mut cfg = TelecomConfig::small();
+        cfg.num_chains = 3;
+        cfg.steps_per_execution = 48;
+        cfg.fault_fraction = 1.0;
+        serde_json::to_string(&TelecomDataset::generate(cfg)).unwrap()
+    }
+
+    #[test]
+    fn generate_parses_back() {
+        let json = generate("small", Some(9)).unwrap();
+        let ds = parse_dataset(&json).unwrap();
+        assert_eq!(ds.chains.len(), TelecomConfig::small().num_chains);
+        assert_eq!(ds.config.seed, 9);
+        assert!(preset("nope").is_err());
+        assert!(parse_dataset("{bad").is_err());
+    }
+
+    #[test]
+    fn train_screen_embed_info_round_trip() {
+        let dataset = tiny_dataset_json();
+        let (model_json, summary) = train(&dataset, Some(10), Some(4)).unwrap();
+        assert!(summary.contains("trained on"));
+
+        let (alarms_json, screen_summary) = screen(&dataset, &model_json, 1.0).unwrap();
+        assert!(screen_summary.contains("screened 3 chains"));
+        let alarms: Vec<AlarmRecord> = serde_json::from_str(&alarms_json).unwrap();
+        for a in &alarms {
+            assert!(a.start <= a.end);
+            assert!(a.testbed.starts_with("Testbed_"));
+        }
+
+        let ds = parse_dataset(&dataset).unwrap();
+        let labels = &ds.chains[0].executions[0].labels;
+        let out = embed(
+            &model_json,
+            &labels.testbed,
+            &labels.sut,
+            &labels.testcase,
+            &labels.build,
+        )
+        .unwrap();
+        assert!(out.contains("embedding (40 dims)"));
+
+        let info_out = info(&model_json).unwrap();
+        assert!(info_out.contains("weights"));
+        assert!(info_out.contains("testbed"));
+    }
+
+    #[test]
+    fn screen_rejects_mismatched_model() {
+        let dataset = tiny_dataset_json();
+        assert!(screen(&dataset, "{not a model", 1.0).is_err());
+        assert!(train("[]", None, None).is_err());
+    }
+}

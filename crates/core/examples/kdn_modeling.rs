@@ -1,0 +1,92 @@
+//! §4.1: VNF resource modelling on the KDN benchmark datasets.
+//!
+//! Trains one Env2Vec model across all three VNF datasets (Snort,
+//! firewall, switch — a per-VNF embedding tells them apart) and compares
+//! its test MAE against a per-dataset ridge baseline, reproducing the
+//! single-model-vs-many argument of Table 4 in miniature.
+//!
+//! Run with: `cargo run --release -p env2vec --example kdn_modeling`
+
+use env2vec::config::Env2VecConfig;
+use env2vec::dataframe::Dataframe;
+use env2vec::train::train_env2vec;
+use env2vec::vocab::EmVocabulary;
+use env2vec_baselines::ridge::{fit_best_alpha, ALPHA_GRID};
+use env2vec_datagen::kdn::{KdnDataset, Vnf};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window = 2;
+    let datasets: Vec<KdnDataset> = Vnf::ALL
+        .iter()
+        .map(|&v| KdnDataset::generate(v, 2020))
+        .collect();
+
+    // Pooled dataframes with a per-VNF EM feature.
+    let mut vocab = EmVocabulary::new(&["vnf"]);
+    let mut splits = Vec::new();
+    for ds in &datasets {
+        let full =
+            Dataframe::from_series(&ds.features, &ds.cpu, &[ds.vnf.name()], window, &mut vocab)?;
+        let train: Vec<usize> = (0..ds.n_train - window).collect();
+        let val: Vec<usize> = (ds.n_train - window..ds.n_train + ds.n_val - window).collect();
+        let test: Vec<usize> = (ds.n_train + ds.n_val - window..full.len()).collect();
+        splits.push((
+            full.select(&train)?,
+            full.select(&val)?,
+            full.select(&test)?,
+        ));
+    }
+    let train = Dataframe::concat(&splits.iter().map(|s| s.0.clone()).collect::<Vec<_>>())?;
+    let val = Dataframe::concat(&splits.iter().map(|s| s.1.clone()).collect::<Vec<_>>())?;
+
+    println!(
+        "training one Env2Vec model on {} pooled rows from {} VNFs...",
+        train.len(),
+        datasets.len()
+    );
+    let cfg = Env2VecConfig {
+        history_window: window,
+        max_epochs: 40,
+        learning_rate: 3e-3,
+        ..Env2VecConfig::default()
+    };
+    let (model, _) = train_env2vec(cfg, vocab, &train, &val)?;
+
+    println!(
+        "\n{:<10} {:>14} {:>22}",
+        "VNF", "Ridge MAE", "Env2Vec (single) MAE"
+    );
+    for (ds, (_, _, test)) in datasets.iter().zip(&splits) {
+        // Per-dataset ridge with the paper's alpha grid.
+        let (tx, ty) = ds.train();
+        let (vx, vy) = ds.validation();
+        let (ridge, _) = fit_best_alpha(&tx, ty, &vx, vy, &ALPHA_GRID)?;
+        let (sx, sy) = ds.test();
+        let ridge_pred = ridge.predict(&sx)?;
+        let ridge_mae: f64 = ridge_pred
+            .iter()
+            .zip(sy)
+            .map(|(p, a)| (p - a).abs())
+            .sum::<f64>()
+            / sy.len() as f64;
+
+        let env2vec_pred = model.predict(test)?;
+        let env2vec_mae: f64 = env2vec_pred
+            .iter()
+            .zip(&test.target)
+            .map(|(p, a)| (p - a).abs())
+            .sum::<f64>()
+            / test.target.len() as f64;
+        println!(
+            "{:<10} {:>14.2} {:>22.2}",
+            ds.vnf.name(),
+            ridge_mae,
+            env2vec_mae
+        );
+    }
+    println!(
+        "\nOne model, three VNFs: the per-VNF embedding absorbs the \
+         differences the paper's Table 4 demonstrates."
+    );
+    Ok(())
+}

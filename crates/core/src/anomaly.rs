@@ -1,0 +1,339 @@
+//! Contextual anomaly detection (paper §3.2 "Anomaly detection").
+//!
+//! The detector fits a Gaussian `N(μ_error, σ_error)` to the prediction
+//! errors of *previous, non-problematic* builds in a build chain, then
+//! flags a timestep of the new build when its error deviates from `μ` by
+//! more than `γ · σ`. Following §4.2.2, a flagged timestep must also
+//! deviate in *absolute* terms — "the difference, in CPU utilization,
+//! between the predicted and observed values not only exceeds γ standard
+//! deviations, but also has absolute value exceeding 5%" — which is the
+//! standard false-alarm filter.
+//!
+//! For unseen environments (§4.3) there is no historical error
+//! distribution, so [`AnomalyDetector::detect_unseen`] applies γ to the
+//! error distribution computed over the execution's own timesteps.
+//!
+//! Contiguous flagged timesteps merge into one [`AnomalyInterval`] — the
+//! unit the paper counts as "an alarm".
+
+use env2vec_linalg::stats::Gaussian;
+use env2vec_linalg::{Error, Result};
+
+/// One alarm: a contiguous anomalous interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyInterval {
+    /// First anomalous timestep (index into the scored series).
+    pub start: usize,
+    /// One past the last anomalous timestep.
+    pub end: usize,
+    /// Timestep of the largest absolute deviation.
+    pub peak: usize,
+    /// Model prediction at the peak.
+    pub predicted_at_peak: f64,
+    /// Observation at the peak.
+    pub observed_at_peak: f64,
+}
+
+impl AnomalyInterval {
+    /// Length of the interval in timesteps.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the interval is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether this interval overlaps `[start, end)`.
+    pub fn overlaps(&self, start: usize, end: usize) -> bool {
+        self.start < end && start < self.end
+    }
+}
+
+/// The γ·σ contextual anomaly detector.
+///
+/// # Examples
+///
+/// ```
+/// use env2vec::anomaly::AnomalyDetector;
+///
+/// // Historical (predicted, observed) pairs from non-problematic builds.
+/// let hist_pred = vec![50.0; 50];
+/// let hist_obs: Vec<f64> = (0..50).map(|i| 50.0 + ((i % 5) as f64 - 2.0) * 0.4).collect();
+/// let dist = AnomalyDetector::fit_error_distribution(&hist_pred, &hist_obs)?;
+///
+/// // The new build deviates by 20 CPU points for a while.
+/// let pred = vec![50.0; 30];
+/// let mut obs = vec![50.0; 30];
+/// for v in &mut obs[10..15] { *v += 20.0; }
+///
+/// let alarms = AnomalyDetector::new(2.0).detect(&dist, &pred, &obs)?;
+/// assert_eq!(alarms.len(), 1);
+/// assert_eq!((alarms[0].start, alarms[0].end), (10, 15));
+/// # Ok::<(), env2vec_linalg::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyDetector {
+    /// Threshold in standard deviations (the paper evaluates γ ∈ {1,2,3}).
+    pub gamma: f64,
+    /// Minimum absolute deviation (percentage points) for a flag; the
+    /// paper uses 5.
+    pub absolute_filter: f64,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector with the paper's 5-point absolute filter.
+    pub fn new(gamma: f64) -> Self {
+        AnomalyDetector {
+            gamma,
+            absolute_filter: 5.0,
+        }
+    }
+
+    /// Fits the error distribution from historical `(predicted, observed)`
+    /// series of non-problematic builds.
+    ///
+    /// Errors are signed `observed − predicted`. Returns an error for
+    /// empty or mismatched inputs.
+    pub fn fit_error_distribution(predicted: &[f64], observed: &[f64]) -> Result<Gaussian> {
+        if predicted.len() != observed.len() {
+            return Err(Error::ShapeMismatch {
+                op: "fit_error_distribution",
+                lhs: (predicted.len(), 1),
+                rhs: (observed.len(), 1),
+            });
+        }
+        let errors: Vec<f64> = observed.iter().zip(predicted).map(|(o, p)| o - p).collect();
+        Gaussian::fit(&errors)
+    }
+
+    /// Scores the new build against a historical error distribution,
+    /// returning merged anomalous intervals.
+    ///
+    /// Returns an error for mismatched lengths.
+    pub fn detect(
+        &self,
+        error_dist: &Gaussian,
+        predicted: &[f64],
+        observed: &[f64],
+    ) -> Result<Vec<AnomalyInterval>> {
+        if predicted.len() != observed.len() {
+            return Err(Error::ShapeMismatch {
+                op: "detect",
+                lhs: (predicted.len(), 1),
+                rhs: (observed.len(), 1),
+            });
+        }
+        let flagged: Vec<bool> = predicted
+            .iter()
+            .zip(observed)
+            .map(|(p, o)| {
+                let err = o - p;
+                let deviation = (err - error_dist.mean).abs();
+                let sigma_ok = if error_dist.std_dev == 0.0 {
+                    deviation > 0.0
+                } else {
+                    deviation > self.gamma * error_dist.std_dev
+                };
+                sigma_ok && (o - p).abs() > self.absolute_filter
+            })
+            .collect();
+        Ok(merge_flags(&flagged, predicted, observed))
+    }
+
+    /// Unseen-environment detection (§4.3): the error distribution is
+    /// computed over all timesteps of this execution itself, then γ is
+    /// applied to it.
+    ///
+    /// Returns an error for empty or mismatched inputs.
+    pub fn detect_unseen(
+        &self,
+        predicted: &[f64],
+        observed: &[f64],
+    ) -> Result<Vec<AnomalyInterval>> {
+        let dist = Self::fit_error_distribution(predicted, observed)?;
+        self.detect(&dist, predicted, observed)
+    }
+}
+
+/// Merges consecutive flagged timesteps into intervals with peak info.
+fn merge_flags(flagged: &[bool], predicted: &[f64], observed: &[f64]) -> Vec<AnomalyInterval> {
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t < flagged.len() {
+        if !flagged[t] {
+            t += 1;
+            continue;
+        }
+        let start = t;
+        let mut peak = t;
+        let mut peak_dev = (observed[t] - predicted[t]).abs();
+        while t < flagged.len() && flagged[t] {
+            let dev = (observed[t] - predicted[t]).abs();
+            if dev > peak_dev {
+                peak_dev = dev;
+                peak = t;
+            }
+            t += 1;
+        }
+        out.push(AnomalyInterval {
+            start,
+            end: t,
+            peak,
+            predicted_at_peak: predicted[peak],
+            observed_at_peak: observed[peak],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// History with small noise around zero error.
+    fn quiet_history() -> (Vec<f64>, Vec<f64>) {
+        let predicted: Vec<f64> = (0..100).map(|i| 50.0 + (i as f64 * 0.3).sin()).collect();
+        let observed: Vec<f64> = predicted
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p + ((i * 7 % 5) as f64 - 2.0) * 0.3)
+            .collect();
+        (predicted, observed)
+    }
+
+    #[test]
+    fn clean_build_raises_no_alarms() {
+        let (pred, obs) = quiet_history();
+        let dist = AnomalyDetector::fit_error_distribution(&pred, &obs).unwrap();
+        let det = AnomalyDetector::new(2.0);
+        let alarms = det.detect(&dist, &pred, &obs).unwrap();
+        assert!(alarms.is_empty(), "{alarms:?}");
+    }
+
+    #[test]
+    fn injected_spike_is_detected_with_correct_interval() {
+        let (pred, obs) = quiet_history();
+        let dist = AnomalyDetector::fit_error_distribution(&pred, &obs).unwrap();
+        let mut faulty = obs.clone();
+        for v in &mut faulty[40..46] {
+            *v += 20.0;
+        }
+        let det = AnomalyDetector::new(2.0);
+        let alarms = det.detect(&dist, &pred, &faulty).unwrap();
+        assert_eq!(alarms.len(), 1);
+        let a = &alarms[0];
+        assert_eq!((a.start, a.end), (40, 46));
+        assert!(a.peak >= 40 && a.peak < 46);
+        assert!(a.observed_at_peak - a.predicted_at_peak > 15.0);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn absolute_filter_suppresses_small_statistical_blips() {
+        // Tiny σ makes a 2-point deviation many σs — but below the 5-point
+        // absolute filter, so it must not alarm.
+        let pred = vec![50.0; 50];
+        let mut obs = vec![50.0; 50];
+        obs[10] = 52.0;
+        let dist = Gaussian {
+            mean: 0.0,
+            std_dev: 0.1,
+        };
+        let det = AnomalyDetector::new(3.0);
+        let alarms = det.detect(&dist, &pred, &obs).unwrap();
+        assert!(alarms.is_empty());
+        // Without the filter it would alarm.
+        let loose = AnomalyDetector {
+            gamma: 3.0,
+            absolute_filter: 1.0,
+        };
+        assert_eq!(loose.detect(&dist, &pred, &obs).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn higher_gamma_is_stricter() {
+        let (pred, obs) = quiet_history();
+        let dist = AnomalyDetector::fit_error_distribution(&pred, &obs).unwrap();
+        let mut faulty = obs.clone();
+        // Two faults of different size.
+        for v in &mut faulty[20..24] {
+            *v += 6.0;
+        }
+        for v in &mut faulty[60..64] {
+            *v += 30.0;
+        }
+        let count = |gamma: f64| {
+            AnomalyDetector::new(gamma)
+                .detect(&dist, &pred, &faulty)
+                .unwrap()
+                .len()
+        };
+        // γ monotonicity: alarms never increase with γ.
+        let c1 = count(1.0);
+        let c5 = count(5.0);
+        let c80 = count(80.0);
+        assert!(c1 >= c5 && c5 >= c80, "{c1} {c5} {c80}");
+        assert!(c1 >= 2);
+        assert_eq!(c80, 0);
+    }
+
+    #[test]
+    fn separate_faults_become_separate_alarms() {
+        let (pred, obs) = quiet_history();
+        let dist = AnomalyDetector::fit_error_distribution(&pred, &obs).unwrap();
+        let mut faulty = obs.clone();
+        for v in &mut faulty[10..13] {
+            *v += 25.0;
+        }
+        for v in &mut faulty[50..55] {
+            *v += 25.0;
+        }
+        let alarms = AnomalyDetector::new(2.0)
+            .detect(&dist, &pred, &faulty)
+            .unwrap();
+        assert_eq!(alarms.len(), 2);
+        assert!(alarms[0].end <= alarms[1].start);
+    }
+
+    #[test]
+    fn unseen_detection_finds_spike_without_history() {
+        let (pred, obs) = quiet_history();
+        let mut faulty = obs;
+        for v in &mut faulty[70..75] {
+            *v += 25.0;
+        }
+        let det = AnomalyDetector::new(2.0);
+        let alarms = det.detect_unseen(&pred, &faulty).unwrap();
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].overlaps(70, 75));
+    }
+
+    #[test]
+    fn interval_overlap_predicate() {
+        let a = AnomalyInterval {
+            start: 10,
+            end: 20,
+            peak: 15,
+            predicted_at_peak: 0.0,
+            observed_at_peak: 0.0,
+        };
+        assert!(a.overlaps(19, 25));
+        assert!(a.overlaps(0, 11));
+        assert!(!a.overlaps(20, 30));
+        assert!(!a.overlaps(0, 10));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let det = AnomalyDetector::new(1.0);
+        let dist = Gaussian {
+            mean: 0.0,
+            std_dev: 1.0,
+        };
+        assert!(det.detect(&dist, &[1.0], &[1.0, 2.0]).is_err());
+        assert!(AnomalyDetector::fit_error_distribution(&[1.0], &[]).is_err());
+        assert!(det.detect_unseen(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! Training loops.
+//!
+//! Appendix A.1 of the paper: MSE loss, the Adam update rule, dropout on
+//! the hidden layer, and early stopping on a validation set. Both model
+//! families (Env2Vec with embeddings, RFNN without) share one loop via a
+//! small crate-private trait.
+
+use env2vec_linalg::{Error, Matrix, Result};
+use env2vec_nn::graph::{Graph, NodeId};
+use env2vec_nn::optim::{Adam, Optimizer};
+use env2vec_nn::params::{Bound, ParamSet};
+use env2vec_nn::trainer::{shuffled_batches, EarlyStopping};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::Env2VecConfig;
+use crate::dataframe::Dataframe;
+use crate::model::{Env2VecModel, RfnnModel};
+use crate::vocab::EmVocabulary;
+
+/// Per-run training telemetry.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Validation MSE (on scaled targets) after each completed epoch.
+    pub val_losses: Vec<f64>,
+    /// Epoch index whose parameters were kept.
+    pub best_epoch: usize,
+    /// Whether early stopping fired before `max_epochs`.
+    pub stopped_early: bool,
+}
+
+/// Crate-private abstraction over the two trainable model families.
+trait Trainable {
+    fn params(&self) -> &ParamSet;
+    fn params_mut(&mut self) -> &mut ParamSet;
+    fn replace_params(&mut self, params: ParamSet);
+    fn scale_target(&self, y: f64) -> f64;
+    fn forward_graph(
+        &self,
+        graph: &mut Graph,
+        bound: &Bound,
+        batch: &Dataframe,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Result<NodeId>;
+}
+
+impl Trainable for Env2VecModel {
+    fn params(&self) -> &ParamSet {
+        Env2VecModel::params(self)
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn replace_params(&mut self, params: ParamSet) {
+        self.set_params(params);
+    }
+    fn scale_target(&self, y: f64) -> f64 {
+        self.y_scaler.scale(y)
+    }
+    fn forward_graph(
+        &self,
+        graph: &mut Graph,
+        bound: &Bound,
+        batch: &Dataframe,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Result<NodeId> {
+        self.forward(graph, bound, batch, dropout_rng)
+    }
+}
+
+impl Trainable for RfnnModel {
+    fn params(&self) -> &ParamSet {
+        RfnnModel::params(self)
+    }
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+    fn replace_params(&mut self, params: ParamSet) {
+        self.set_params(params);
+    }
+    fn scale_target(&self, y: f64) -> f64 {
+        self.y_scaler.scale(y)
+    }
+    fn forward_graph(
+        &self,
+        graph: &mut Graph,
+        bound: &Bound,
+        batch: &Dataframe,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Result<NodeId> {
+        self.forward(graph, bound, batch, dropout_rng)
+    }
+}
+
+/// Trains an Env2Vec model on `train`, early-stopping on `val`.
+///
+/// `vocab` must already contain every EM value present in `train` (build
+/// it while assembling the dataframes). Returns the trained model and the
+/// per-epoch report, or an error for invalid inputs.
+pub fn train_env2vec(
+    config: Env2VecConfig,
+    vocab: EmVocabulary,
+    train: &Dataframe,
+    val: &Dataframe,
+) -> Result<(Env2VecModel, TrainingReport)> {
+    let mut model = Env2VecModel::new(config, vocab, train)?;
+    let report = fit(&mut model, &config, train, val)?;
+    Ok((model, report))
+}
+
+/// Trains an RFNN model (no embeddings) on `train`, early-stopping on
+/// `val`.
+///
+/// Returns the trained model and the per-epoch report.
+pub fn train_rfnn(
+    config: Env2VecConfig,
+    train: &Dataframe,
+    val: &Dataframe,
+) -> Result<(RfnnModel, TrainingReport)> {
+    let mut model = RfnnModel::new(config, train)?;
+    let report = fit(&mut model, &config, train, val)?;
+    Ok((model, report))
+}
+
+/// Continues training an existing Env2Vec model on new data — the
+/// incremental retraining §4.3 prescribes once an unseen environment has
+/// produced data ("This problem is resolved by retraining Env2Vec
+/// incrementally with the new data from the environment").
+///
+/// The model's vocabulary is frozen: new EM *values* still map to
+/// `<unk>`, but new data for constructible environments sharpens their
+/// embeddings. Scalers are kept from the original fit so predictions stay
+/// on the same scale. Returns the per-epoch report.
+pub fn fine_tune_env2vec(
+    model: &mut Env2VecModel,
+    epochs: usize,
+    learning_rate: f64,
+    train: &Dataframe,
+    val: &Dataframe,
+) -> Result<TrainingReport> {
+    let config = Env2VecConfig {
+        max_epochs: epochs,
+        learning_rate,
+        ..model.config
+    };
+    config
+        .validate()
+        .map_err(|what| Error::InvalidArgument { what })?;
+    fit(model, &config, train, val)
+}
+
+/// Validation MSE in scaled-target space (no dropout).
+fn scaled_val_mse<M: Trainable>(model: &M, val: &Dataframe) -> Result<f64> {
+    let mut graph = Graph::new();
+    let bound = model.params().bind(&mut graph);
+    let pred = model.forward_graph(&mut graph, &bound, val, None)?;
+    let pred = graph.value(pred).col(0);
+    let n = pred.len() as f64;
+    Ok(pred
+        .iter()
+        .zip(&val.target)
+        .map(|(p, &y)| {
+            let t = model.scale_target(y);
+            (p - t) * (p - t)
+        })
+        .sum::<f64>()
+        / n)
+}
+
+/// The shared mini-batch Adam + early-stopping loop.
+fn fit<M: Trainable>(
+    model: &mut M,
+    config: &Env2VecConfig,
+    train: &Dataframe,
+    val: &Dataframe,
+) -> Result<TrainingReport> {
+    if train.is_empty() || val.is_empty() {
+        return Err(Error::Empty { routine: "fit" });
+    }
+    let mut opt = Adam::new(config.learning_rate);
+    let mut stopper = EarlyStopping::new(config.patience, 1e-6);
+    let mut dropout_rng = StdRng::seed_from_u64(config.seed ^ 0xd20f);
+    let mut val_losses = Vec::new();
+    let mut stopped_early = false;
+
+    for epoch in 0..config.max_epochs {
+        for batch_idx in
+            shuffled_batches(train.len(), config.batch_size, config.seed + epoch as u64)
+        {
+            let batch = train.select(&batch_idx)?;
+            let scaled_targets: Vec<f64> = batch
+                .target
+                .iter()
+                .map(|&y| model.scale_target(y))
+                .collect();
+            let mut graph = Graph::new();
+            let bound = model.params().bind(&mut graph);
+            let pred = model.forward_graph(&mut graph, &bound, &batch, Some(&mut dropout_rng))?;
+            let target = graph.leaf(Matrix::col_vector(&scaled_targets));
+            let loss = graph.mse(pred, target)?;
+            graph.backward(loss)?;
+            let grads = model.params().gradients(&graph, &bound)?;
+            opt.step(model.params_mut(), &grads)?;
+        }
+        let loss = scaled_val_mse(model, val)?;
+        val_losses.push(loss);
+        if stopper.observe(loss, model.params()) {
+            stopped_early = true;
+            break;
+        }
+    }
+    let best_epoch = val_losses
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite losses"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let current = model.params().clone();
+    model.replace_params(stopper.into_best(current));
+    Ok(TrainingReport {
+        val_losses,
+        best_epoch,
+        stopped_early,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_nn::loss::mae;
+
+    /// A synthetic two-environment task where the environment shifts the
+    /// target: y = f(cf) + offset(env) + AR carry-over.
+    fn two_env_data(
+        vocab: &mut EmVocabulary,
+        offset_a: f64,
+        offset_b: f64,
+        n: usize,
+    ) -> (Dataframe, Dataframe, Dataframe) {
+        let make = |offset: f64, env: [&str; 4], vocab: &mut EmVocabulary| {
+            let cf = Matrix::from_fn(n, 4, |i, j| {
+                (((i * 13 + j * 7) % 17) as f64 / 17.0) + 0.1 * (i as f64 * 0.4).sin()
+            });
+            let mut ru = vec![offset];
+            for t in 1..n {
+                let drive = 20.0 * cf.get(t, 0) + 8.0 * cf.get(t, 1) * cf.get(t, 1);
+                ru.push(0.3 * ru[t - 1] + 0.7 * (offset + drive));
+            }
+            Dataframe::from_series(&cf, &ru, &env, 2, vocab).unwrap()
+        };
+        let a = make(offset_a, ["tb1", "sutA", "tc", "S01"], vocab);
+        let b = make(offset_b, ["tb2", "sutB", "tc", "S01"], vocab);
+        let all = Dataframe::concat(&[a.clone(), b.clone()]).unwrap();
+        (all, a, b)
+    }
+
+    #[test]
+    fn env2vec_training_reduces_validation_loss() {
+        let mut vocab = EmVocabulary::telecom();
+        let (all, _, _) = two_env_data(&mut vocab, 30.0, 60.0, 120);
+        let (train, val) = all.split_validation(0.2).unwrap();
+        let (model, report) = train_env2vec(Env2VecConfig::fast(), vocab, &train, &val).unwrap();
+        assert!(
+            report.val_losses.last().copied().unwrap_or(f64::INFINITY) < report.val_losses[0],
+            "losses {:?}",
+            report.val_losses
+        );
+        let pred = model.predict(&val).unwrap();
+        let err = mae(&pred, &val.target).unwrap();
+        assert!(err < 8.0, "validation MAE {err}");
+    }
+
+    #[test]
+    fn embeddings_beat_pooled_rfnn_on_env_shifted_data() {
+        // The defining experiment in miniature (paper §4.1.4): pooled
+        // training without embeddings cannot tell environments apart when
+        // their targets differ by a large offset, Env2Vec can.
+        let mut vocab = EmVocabulary::telecom();
+        let (all, a, b) = two_env_data(&mut vocab, 20.0, 70.0, 150);
+        let (train, val) = all.split_validation(0.15).unwrap();
+        let cfg = Env2VecConfig::fast();
+        let (env2vec, _) = train_env2vec(cfg, vocab, &train, &val).unwrap();
+        let (rfnn_all, _) = train_rfnn(cfg, &train, &val).unwrap();
+
+        let score = |pred: &[f64], t: &[f64]| mae(pred, t).unwrap();
+        let e_a = score(&env2vec.predict(&a).unwrap(), &a.target);
+        let e_b = score(&env2vec.predict(&b).unwrap(), &b.target);
+        let r_a = score(&rfnn_all.predict(&a).unwrap(), &a.target);
+        let r_b = score(&rfnn_all.predict(&b).unwrap(), &b.target);
+        let env2vec_mae = (e_a + e_b) / 2.0;
+        let rfnn_mae = (r_a + r_b) / 2.0;
+        assert!(
+            env2vec_mae < rfnn_mae,
+            "Env2Vec {env2vec_mae} should beat pooled RFNN {rfnn_mae}"
+        );
+    }
+
+    #[test]
+    fn early_stopping_restores_best_epoch() {
+        let mut vocab = EmVocabulary::telecom();
+        let (all, _, _) = two_env_data(&mut vocab, 30.0, 60.0, 80);
+        let (train, val) = all.split_validation(0.2).unwrap();
+        let cfg = Env2VecConfig {
+            max_epochs: 40,
+            patience: 3,
+            ..Env2VecConfig::fast()
+        };
+        let (_, report) = train_env2vec(cfg, vocab, &train, &val).unwrap();
+        let best = report.val_losses[report.best_epoch];
+        assert!(report.val_losses.iter().all(|&l| l >= best - 1e-12));
+    }
+
+    #[test]
+    fn all_combination_modes_train_and_fit() {
+        // §3.2's claim: the alternatives "yield similar results". Each
+        // mode must train to a sane fit on the same data.
+        use crate::config::Combination;
+        let mut results = Vec::new();
+        for combination in [
+            Combination::HadamardSum,
+            Combination::Bilinear,
+            Combination::MlpHead,
+        ] {
+            let mut vocab = EmVocabulary::telecom();
+            let (all, a, b) = two_env_data(&mut vocab, 25.0, 65.0, 120);
+            let (train, val) = all.split_validation(0.15).unwrap();
+            let cfg = Env2VecConfig {
+                combination,
+                max_epochs: 30,
+                ..Env2VecConfig::fast()
+            };
+            let (model, _) = train_env2vec(cfg, vocab, &train, &val).unwrap();
+            let err = (mae(&model.predict(&a).unwrap(), &a.target).unwrap()
+                + mae(&model.predict(&b).unwrap(), &b.target).unwrap())
+                / 2.0;
+            assert!(err < 8.0, "{combination:?} mae {err}");
+            results.push(err);
+        }
+        // No mode is wildly worse than the best (the "similar results"
+        // claim, loosely).
+        let best = results.iter().cloned().fold(f64::INFINITY, f64::min);
+        for (i, err) in results.iter().enumerate() {
+            assert!(*err < best * 4.0 + 1.0, "mode {i} err {err} vs best {best}");
+        }
+    }
+
+    #[test]
+    fn attention_variant_trains_and_serialises() {
+        // The §6 attention extension must train to a comparable fit and
+        // survive persistence (its extra parameters restore by name).
+        let mut vocab = EmVocabulary::telecom();
+        let (all, a, _) = two_env_data(&mut vocab, 25.0, 65.0, 120);
+        let (train, val) = all.split_validation(0.15).unwrap();
+        let cfg = Env2VecConfig {
+            attention: true,
+            history_window: 4,
+            max_epochs: 30,
+            ..Env2VecConfig::fast()
+        };
+        let (model, _) = train_env2vec(cfg, vocab, &train, &val).unwrap();
+        let err = mae(&model.predict(&a).unwrap(), &a.target).unwrap();
+        assert!(err < 8.0, "attention variant mae {err}");
+        assert!(model.params().find("attn.w").is_some());
+
+        let json = crate::serialize::save_model(&model);
+        let restored = crate::serialize::load_model(&json).unwrap();
+        assert_eq!(model.predict(&a).unwrap(), restored.predict(&a).unwrap());
+    }
+
+    #[test]
+    fn fine_tune_improves_fit_on_new_environment_data() {
+        // Train on environment A only, then incrementally absorb B.
+        let mut vocab = EmVocabulary::telecom();
+        let (_, a, b) = two_env_data(&mut vocab, 25.0, 65.0, 120);
+        let (train_a, val_a) = a.split_validation(0.2).unwrap();
+        let cfg = Env2VecConfig::fast();
+        let (mut model, _) = train_env2vec(cfg, vocab, &train_a, &val_a).unwrap();
+
+        let before = mae(&model.predict(&b).unwrap(), &b.target).unwrap();
+        let (train_b, val_b) = b.split_validation(0.2).unwrap();
+        fine_tune_env2vec(&mut model, 20, 3e-3, &train_b, &val_b).unwrap();
+        let after = mae(&model.predict(&b).unwrap(), &b.target).unwrap();
+        assert!(
+            after < before / 2.0,
+            "fine-tuning must absorb the new environment: {before} -> {after}"
+        );
+        // The original environment must not be catastrophically forgotten.
+        let a_after = mae(&model.predict(&a).unwrap(), &a.target).unwrap();
+        assert!(a_after < 20.0, "environment A forgotten: mae {a_after}");
+    }
+
+    #[test]
+    fn fine_tune_rejects_invalid_overrides() {
+        let mut vocab = EmVocabulary::telecom();
+        let (all, _, _) = two_env_data(&mut vocab, 25.0, 65.0, 60);
+        let (train, val) = all.split_validation(0.2).unwrap();
+        let (mut model, _) = train_env2vec(Env2VecConfig::fast(), vocab, &train, &val).unwrap();
+        assert!(fine_tune_env2vec(&mut model, 0, 1e-3, &train, &val).is_err());
+        assert!(fine_tune_env2vec(&mut model, 5, -1.0, &train, &val).is_err());
+    }
+
+    #[test]
+    fn training_rejects_empty_sets() {
+        let mut vocab = EmVocabulary::telecom();
+        let (all, _, _) = two_env_data(&mut vocab, 30.0, 60.0, 40);
+        let empty = Dataframe {
+            cf: Matrix::zeros(0, all.cf.cols()),
+            history: Matrix::zeros(0, all.history.cols()),
+            em: vec![],
+            target: vec![],
+        };
+        assert!(train_rfnn(Env2VecConfig::fast(), &all, &empty).is_err());
+    }
+}

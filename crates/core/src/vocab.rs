@@ -1,0 +1,223 @@
+//! Environment-metadata vocabularies.
+//!
+//! Each EM feature (testbed, SUT, test case, build, ...) has its own
+//! vocabulary mapping string values to embedding-table rows. Index `0` is
+//! reserved for the `<unk>` embedding, "an additional unknown
+//! vector/embedding to deal with an unknown environment that has not
+//! appeared in the training data before" (§3.1).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Vocabulary for one EM feature.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVocab {
+    /// Value → encoded index (1-based; 0 is `<unk>`).
+    map: HashMap<String, usize>,
+    /// Values in insertion order (`values[i]` has index `i + 1`).
+    values: Vec<String>,
+}
+
+impl FeatureVocab {
+    /// The index of the unknown value.
+    pub const UNK: usize = 0;
+
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a value, adding it to the vocabulary if new.
+    pub fn encode_or_add(&mut self, value: &str) -> usize {
+        if let Some(&i) = self.map.get(value) {
+            return i;
+        }
+        self.values.push(value.to_string());
+        let idx = self.values.len();
+        self.map.insert(value.to_string(), idx);
+        idx
+    }
+
+    /// Encodes a value, returning `UNK` for values never seen.
+    pub fn encode(&self, value: &str) -> usize {
+        self.map.get(value).copied().unwrap_or(Self::UNK)
+    }
+
+    /// Decodes an index back to its value (`None` for `UNK` or out of
+    /// range).
+    pub fn decode(&self, index: usize) -> Option<&str> {
+        if index == 0 {
+            return None;
+        }
+        self.values.get(index - 1).map(String::as_str)
+    }
+
+    /// Number of known values (excluding `<unk>`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vocabulary has no known values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over known values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+}
+
+/// The vocabularies for all EM features of a model, in feature order.
+///
+/// # Examples
+///
+/// ```
+/// use env2vec::vocab::EmVocabulary;
+///
+/// let mut vocab = EmVocabulary::telecom();
+/// let idx = vocab.encode_or_add(&["Testbed_13", "SUT_FW", "Testcase_Endurance", "S08"]);
+/// assert_eq!(idx, vec![1, 1, 1, 1]);
+///
+/// // Inference path: unknown values map to the <unk> index 0 while known
+/// // components keep their learned rows (the paper's Figure 5).
+/// let mixed = vocab.encode(&["Testbed_99", "SUT_FW", "Testcase_Endurance", "S08"]);
+/// assert_eq!(mixed, vec![0, 1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmVocabulary {
+    feature_names: Vec<String>,
+    vocabs: Vec<FeatureVocab>,
+}
+
+impl EmVocabulary {
+    /// Creates vocabularies for the given EM feature names.
+    pub fn new(feature_names: &[&str]) -> Self {
+        EmVocabulary {
+            feature_names: feature_names.iter().map(|s| s.to_string()).collect(),
+            vocabs: feature_names.iter().map(|_| FeatureVocab::new()).collect(),
+        }
+    }
+
+    /// The paper's representative four-feature tuple
+    /// `<Testbed, SUT, Testcase, Build>`.
+    pub fn telecom() -> Self {
+        EmVocabulary::new(&["testbed", "sut", "testcase", "build"])
+    }
+
+    /// Number of EM features.
+    pub fn num_features(&self) -> usize {
+        self.vocabs.len()
+    }
+
+    /// Feature names in order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Vocabulary of one feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `feature` is out of range.
+    pub fn feature(&self, feature: usize) -> &FeatureVocab {
+        &self.vocabs[feature]
+    }
+
+    /// Encodes a full EM value tuple, growing vocabularies (training
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len()` differs from the feature count.
+    pub fn encode_or_add(&mut self, values: &[&str]) -> Vec<usize> {
+        assert_eq!(values.len(), self.vocabs.len(), "EM tuple width mismatch");
+        values
+            .iter()
+            .zip(&mut self.vocabs)
+            .map(|(v, vocab)| vocab.encode_or_add(v))
+            .collect()
+    }
+
+    /// Encodes a full EM value tuple without growing (inference path);
+    /// unknown values map to `<unk>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len()` differs from the feature count.
+    pub fn encode(&self, values: &[&str]) -> Vec<usize> {
+        assert_eq!(values.len(), self.vocabs.len(), "EM tuple width mismatch");
+        values
+            .iter()
+            .zip(&self.vocabs)
+            .map(|(v, vocab)| vocab.encode(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_or_add_assigns_stable_indices() {
+        let mut v = FeatureVocab::new();
+        assert_eq!(v.encode_or_add("Testbed_01"), 1);
+        assert_eq!(v.encode_or_add("Testbed_02"), 2);
+        assert_eq!(v.encode_or_add("Testbed_01"), 1);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn encode_maps_unknown_to_unk() {
+        let mut v = FeatureVocab::new();
+        v.encode_or_add("known");
+        assert_eq!(v.encode("known"), 1);
+        assert_eq!(v.encode("never seen"), FeatureVocab::UNK);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let mut v = FeatureVocab::new();
+        v.encode_or_add("a");
+        v.encode_or_add("b");
+        assert_eq!(v.decode(1), Some("a"));
+        assert_eq!(v.decode(2), Some("b"));
+        assert_eq!(v.decode(0), None);
+        assert_eq!(v.decode(3), None);
+        let vals: Vec<&str> = v.values().collect();
+        assert_eq!(vals, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn em_vocabulary_tuple_encoding() {
+        let mut em = EmVocabulary::telecom();
+        assert_eq!(em.num_features(), 4);
+        let idx = em.encode_or_add(&["Testbed_13", "SUT_F", "Testcase_Endurance", "S01"]);
+        assert_eq!(idx, vec![1, 1, 1, 1]);
+        let idx2 = em.encode_or_add(&["Testbed_13", "SUT_A", "Testcase_Endurance", "S02"]);
+        assert_eq!(idx2, vec![1, 2, 1, 2]);
+        // Inference path: unknown testbed maps to <unk>, known parts keep
+        // their indices — the mix-and-match of Figure 5.
+        let mixed = em.encode(&["Testbed_99", "SUT_A", "Testcase_Endurance", "S01"]);
+        assert_eq!(mixed, vec![0, 2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_tuple_width_panics() {
+        let em = EmVocabulary::telecom();
+        let _ = em.encode(&["just-one"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut em = EmVocabulary::telecom();
+        em.encode_or_add(&["tb", "s", "tc", "b"]);
+        let json = serde_json::to_string(&em).unwrap();
+        let back: EmVocabulary = serde_json::from_str(&json).unwrap();
+        assert_eq!(em, back);
+        assert_eq!(back.encode(&["tb", "s", "tc", "b"]), vec![1, 1, 1, 1]);
+    }
+}

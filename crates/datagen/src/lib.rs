@@ -1,0 +1,33 @@
+//! Synthetic dataset generators for the Env2Vec reproduction.
+//!
+//! Neither of the paper's data sources is available: the KDN benchmark
+//! traces (knowledgedefinednetworking.org) are no longer distributed in
+//! the form the paper used, and the telecom testing dataset is Nokia
+//! proprietary. Per the substitution policy in `DESIGN.md`, this crate
+//! generates synthetic equivalents that exercise the same code paths and
+//! preserve the *relative* behaviour the paper's evaluation measures:
+//!
+//! - [`kdn`]: three VNF datasets (Snort, SDN-firewall, SDN-switch) with 86
+//!   correlated traffic features in 20-second batches and per-VNF
+//!   nonlinear CPU-response models, matching the paper's Table 3 split
+//!   sizes and the reported CPU mean/σ of each dataset. Snort and the
+//!   firewall respond nonlinearly (so neural models win, Table 4) while
+//!   the switch is near-linear with strong temporal carry-over (so
+//!   `Ridge_ts` wins on it, as in the paper).
+//! - [`telecom`]: a carrier-grade testing universe — testbeds, systems
+//!   under test, test cases and build types per the paper's Table 1 —
+//!   producing 125 build chains of contextual time series whose response
+//!   functions *factorise over the EM labels*, the property that makes
+//!   environment embeddings learnable. A fault injector adds labelled CPU
+//!   anomalies (spikes, level shifts, drifts, saturations) standing in for
+//!   the engineer-labelled problems of §4.2.2.
+//! - [`process`]: small stochastic-process helpers (AR(1) noise, diurnal
+//!   and bursty workload curves) shared by both generators.
+//!
+//! Everything is seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod kdn;
+pub mod process;
+pub mod telecom;

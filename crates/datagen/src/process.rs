@@ -1,0 +1,163 @@
+//! Stochastic-process helpers shared by the generators.
+
+use rand::Rng;
+
+/// First-order autoregressive noise: `x_t = φ x_{t-1} + σ ε_t` with
+/// `ε_t ~ U(-1, 1)` (bounded innovations keep synthetic CPU in range).
+///
+/// Returns `n` samples starting from `x_0 = 0`.
+pub fn ar1(rng: &mut impl Rng, n: usize, phi: f64, sigma: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = 0.0;
+    for _ in 0..n {
+        x = phi * x + sigma * rng.gen_range(-1.0..1.0);
+        out.push(x);
+    }
+    out
+}
+
+/// A diurnal (daily) load curve sampled every `step_minutes`, in `[0, 1]`:
+/// low at night, peaking mid-day, with a secondary evening bump.
+pub fn diurnal(n: usize, step_minutes: f64, phase_minutes: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let minutes = i as f64 * step_minutes + phase_minutes;
+            let day_frac = (minutes / (24.0 * 60.0)).fract();
+            let main = (std::f64::consts::TAU * (day_frac - 0.25)).sin().max(0.0);
+            let evening = 0.4
+                * (std::f64::consts::TAU * 2.0 * (day_frac - 0.35))
+                    .sin()
+                    .max(0.0);
+            (0.15 + 0.7 * main + evening).min(1.0)
+        })
+        .collect()
+}
+
+/// Self-similar bursty traffic in `[0, 1]`: superposition of on/off bursts
+/// at several timescales, the classic heavy-tailed traffic approximation.
+pub fn bursty(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    let mut out: Vec<f64> = vec![0.2; n];
+    for scale in [4usize, 16, 64] {
+        let mut level = 0.0;
+        let mut remaining = 0usize;
+        for x in out.iter_mut() {
+            if remaining == 0 {
+                remaining = rng.gen_range(1..=scale);
+                level = if rng.gen_bool(0.4) {
+                    rng.gen_range(0.1..0.4)
+                } else {
+                    0.0
+                };
+            }
+            remaining -= 1;
+            *x += level;
+        }
+    }
+    for x in &mut out {
+        *x = (*x).min(1.0);
+    }
+    out
+}
+
+/// A surge profile in `[0, 1]`: baseline load with one steep ramp-up and
+/// decay, as in form-factor "surge" test cases.
+pub fn surge(n: usize, peak_at: usize, width: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let d = i as f64 - peak_at as f64;
+            let w = width.max(1) as f64;
+            0.2 + 0.8 * (-0.5 * (d / w) * (d / w)).exp()
+        })
+        .collect()
+}
+
+/// A step-load profile in `[0, 1]`: load increases in `steps` plateaus, as
+/// in capacity/load test cases.
+pub fn step_load(n: usize, steps: usize) -> Vec<f64> {
+    let steps = steps.max(1);
+    (0..n)
+        .map(|i| {
+            let stage = (i * steps) / n.max(1);
+            0.2 + 0.8 * (stage as f64 + 1.0) / steps as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ar1_is_bounded_and_autocorrelated() {
+        let xs = ar1(&mut rng(), 2000, 0.9, 1.0);
+        // Stationary bound: |x| <= σ/(1-φ).
+        assert!(xs.iter().all(|x| x.abs() <= 10.0 + 1e-9));
+        // Lag-1 autocorrelation near φ.
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let rho = cov / var;
+        assert!((rho - 0.9).abs() < 0.1, "autocorrelation {rho}");
+    }
+
+    #[test]
+    fn diurnal_period_is_one_day() {
+        // 15-minute cadence → 96 samples per day.
+        let two_days = diurnal(192, 15.0, 0.0);
+        for i in 0..96 {
+            assert!((two_days[i] - two_days[i + 96]).abs() < 1e-9);
+        }
+        assert!(two_days.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // There is real day/night contrast.
+        let max = two_days.iter().cloned().fold(0.0f64, f64::max);
+        let min = two_days.iter().cloned().fold(1.0f64, f64::min);
+        assert!(max - min > 0.5);
+    }
+
+    #[test]
+    fn diurnal_phase_shifts_curve() {
+        let a = diurnal(96, 15.0, 0.0);
+        let b = diurnal(96, 15.0, 6.0 * 60.0);
+        assert_ne!(a, b);
+        // Phase of 24 h is identity.
+        let c = diurnal(96, 15.0, 24.0 * 60.0);
+        for (x, y) in a.iter().zip(&c) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bursty_in_range_with_variance() {
+        let xs = bursty(&mut rng(), 1000);
+        assert!(xs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(var > 0.005, "bursty variance {var}");
+    }
+
+    #[test]
+    fn surge_peaks_at_requested_position() {
+        let xs = surge(100, 60, 10);
+        let peak = xs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 60);
+        assert!(xs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn step_load_is_monotone_nondecreasing() {
+        let xs = step_load(100, 5);
+        assert!(xs.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        assert!(xs[0] < xs[99]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Fault injection with ground-truth labels.
+//!
+//! §4.2.2 evaluates detectors against problems labelled by testing
+//! engineers: "a variety of different problematic inputs and scenarios
+//! (e.g., increased latency on certain interfaces) are simulated in the
+//! network". Here the simulation is explicit: faults perturb the CPU
+//! series *without* touching the contextual features, so a contextual
+//! model sees an observation its inputs cannot explain — the definition of
+//! a contextual anomaly. Each injected window is recorded as ground truth
+//! for alarm scoring.
+
+// Indexed loops mirror the textbook formulations of these numeric
+// kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Kind of injected performance problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Short additive burst (e.g. runaway thread).
+    Spike,
+    /// Sustained additive offset (e.g. costly code path enabled).
+    LevelShift,
+    /// Linear ramp (e.g. memory-leak-driven GC pressure).
+    Drift,
+    /// CPU pinned near saturation for the window.
+    Saturation,
+}
+
+impl FaultKind {
+    /// All fault kinds.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Spike,
+        FaultKind::LevelShift,
+        FaultKind::Drift,
+        FaultKind::Saturation,
+    ];
+}
+
+/// One injected problem: a half-open timestep window plus its effect size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// First affected timestep.
+    pub start: usize,
+    /// One past the last affected timestep.
+    pub end: usize,
+    /// Effect shape.
+    pub kind: FaultKind,
+    /// Effect size in CPU percentage points (peak, for ramps).
+    pub magnitude: f64,
+}
+
+impl FaultWindow {
+    /// Whether a timestep falls inside the window.
+    pub fn contains(&self, t: usize) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+
+    /// Window length in timesteps.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Applies a fault to the CPU series in place.
+pub fn apply(cpu: &mut [f64], fault: &FaultWindow) {
+    let end = fault.end.min(cpu.len());
+    for t in fault.start..end {
+        let v = &mut cpu[t];
+        match fault.kind {
+            FaultKind::Spike | FaultKind::LevelShift => *v += fault.magnitude,
+            FaultKind::Drift => {
+                let frac = (t - fault.start + 1) as f64 / fault.len().max(1) as f64;
+                *v += fault.magnitude * frac;
+            }
+            FaultKind::Saturation => *v = v.max(92.0 + 0.5 * fault.magnitude.min(10.0)),
+        }
+        *v = v.clamp(0.0, 100.0);
+    }
+}
+
+/// Draws a set of non-overlapping fault windows for an execution of
+/// `steps` timesteps.
+///
+/// `count` faults are placed with magnitudes in `magnitude_range`
+/// (percentage points). Windows that would overlap an earlier one are
+/// skipped, so the result may contain fewer than `count` faults.
+pub fn sample_faults(
+    rng: &mut impl Rng,
+    steps: usize,
+    count: usize,
+    magnitude_range: (f64, f64),
+) -> Vec<FaultWindow> {
+    let mut out: Vec<FaultWindow> = Vec::new();
+    if steps < 8 {
+        return out;
+    }
+    for _ in 0..count {
+        let kind = FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())];
+        let len = match kind {
+            FaultKind::Spike => rng.gen_range(2..=(steps / 16).max(3)),
+            FaultKind::LevelShift | FaultKind::Saturation => {
+                rng.gen_range(steps / 10..=(steps / 4).max(steps / 10 + 1))
+            }
+            FaultKind::Drift => rng.gen_range(steps / 8..=(steps / 3).max(steps / 8 + 1)),
+        };
+        if len >= steps {
+            continue;
+        }
+        let start = rng.gen_range(0..steps - len);
+        let window = FaultWindow {
+            start,
+            end: start + len,
+            kind,
+            magnitude: rng.gen_range(magnitude_range.0..magnitude_range.1),
+        };
+        let overlaps = out
+            .iter()
+            .any(|f| window.start < f.end && f.start < window.end);
+        if !overlaps {
+            out.push(window);
+        }
+    }
+    out.sort_by_key(|f| f.start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spike_and_level_shift_add_magnitude() {
+        let mut cpu = vec![50.0; 20];
+        apply(
+            &mut cpu,
+            &FaultWindow {
+                start: 5,
+                end: 8,
+                kind: FaultKind::Spike,
+                magnitude: 15.0,
+            },
+        );
+        assert_eq!(cpu[4], 50.0);
+        assert_eq!(cpu[5], 65.0);
+        assert_eq!(cpu[7], 65.0);
+        assert_eq!(cpu[8], 50.0);
+    }
+
+    #[test]
+    fn drift_ramps_to_full_magnitude() {
+        let mut cpu = vec![40.0; 10];
+        apply(
+            &mut cpu,
+            &FaultWindow {
+                start: 0,
+                end: 10,
+                kind: FaultKind::Drift,
+                magnitude: 20.0,
+            },
+        );
+        assert!(cpu[0] < cpu[9]);
+        assert_eq!(cpu[9], 60.0);
+        assert!((cpu[4] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_pins_high() {
+        let mut cpu = vec![30.0; 10];
+        apply(
+            &mut cpu,
+            &FaultWindow {
+                start: 2,
+                end: 6,
+                kind: FaultKind::Saturation,
+                magnitude: 10.0,
+            },
+        );
+        assert!(cpu[3] >= 92.0);
+        assert_eq!(cpu[1], 30.0);
+    }
+
+    #[test]
+    fn clamped_to_valid_cpu_range() {
+        let mut cpu = vec![95.0; 5];
+        apply(
+            &mut cpu,
+            &FaultWindow {
+                start: 0,
+                end: 5,
+                kind: FaultKind::LevelShift,
+                magnitude: 50.0,
+            },
+        );
+        assert!(cpu.iter().all(|&v| v <= 100.0));
+    }
+
+    #[test]
+    fn apply_tolerates_window_past_series_end() {
+        let mut cpu = vec![50.0; 5];
+        apply(
+            &mut cpu,
+            &FaultWindow {
+                start: 3,
+                end: 10,
+                kind: FaultKind::Spike,
+                magnitude: 10.0,
+            },
+        );
+        assert_eq!(cpu[4], 60.0);
+    }
+
+    #[test]
+    fn sampled_faults_are_disjoint_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let faults = sample_faults(&mut rng, 400, 4, (8.0, 25.0));
+            for f in &faults {
+                assert!(f.start < f.end && f.end <= 400);
+                assert!((8.0..25.0).contains(&f.magnitude));
+            }
+            for pair in faults.windows(2) {
+                assert!(pair[0].end <= pair[1].start, "overlapping windows");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_series_yields_no_faults() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(sample_faults(&mut rng, 4, 3, (5.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn window_helpers() {
+        let f = FaultWindow {
+            start: 3,
+            end: 6,
+            kind: FaultKind::Spike,
+            magnitude: 5.0,
+        };
+        assert!(f.contains(3) && f.contains(5) && !f.contains(6));
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,616 @@
+//! Build-chain and execution generation.
+//!
+//! Assembles the pieces: sample `(testbed, SUT, test case)` combinations
+//! into build chains, run a sequence of builds through each, and produce
+//! per-execution contextual time series with a factorised CPU response:
+//!
+//! `cpu = 100 · clamp(base + shape_SUT(load, burst) · mult_build ·
+//! factor_testcase / capacity_testbed) + AR noise`
+//!
+//! Faults are injected only into (a configurable fraction of) each chain's
+//! *final* execution — the "new build" a testing engineer would be
+//! screening — with ground-truth windows recorded on the execution.
+
+use env2vec_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use super::faults::{self, FaultWindow};
+use super::metadata::{BuildType, EmLabels, Universe};
+use super::workload;
+use crate::process;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TelecomConfig {
+    /// Number of distinct testbeds in the universe.
+    pub num_testbeds: usize,
+    /// Number of build chains (the paper has 125).
+    pub num_chains: usize,
+    /// Builds per chain (successive executions).
+    pub builds_per_chain: usize,
+    /// Timesteps per execution (15-minute cadence).
+    pub steps_per_execution: usize,
+    /// Fraction of final-build executions that receive injected faults.
+    pub fault_fraction: f64,
+    /// Faults attempted per faulty execution.
+    pub faults_per_execution: usize,
+    /// Injected magnitudes in CPU percentage points `(lo, hi)`.
+    pub fault_magnitude: (f64, f64),
+    /// Reserve the last testbed for chain 0 only, making it severely
+    /// under-represented in training data — the situation behind the
+    /// paper's Table 7, where the worst-screening execution ran on a
+    /// testbed with almost no training coverage.
+    pub rare_testbed: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl TelecomConfig {
+    /// The paper-scale dataset: 125 chains × 5 builds × 640 steps =
+    /// 400,000 timesteps.
+    pub fn paper() -> Self {
+        TelecomConfig {
+            num_testbeds: 20,
+            num_chains: 125,
+            builds_per_chain: 5,
+            steps_per_execution: 640,
+            fault_fraction: 0.5,
+            faults_per_execution: 3,
+            fault_magnitude: (7.0, 28.0),
+            rare_testbed: true,
+            seed: 2020,
+        }
+    }
+
+    /// A reduced dataset with the same structure, for tests and the quick
+    /// benchmark mode.
+    pub fn small() -> Self {
+        TelecomConfig {
+            num_testbeds: 8,
+            num_chains: 16,
+            builds_per_chain: 3,
+            steps_per_execution: 96,
+            fault_fraction: 0.5,
+            faults_per_execution: 2,
+            fault_magnitude: (8.0, 25.0),
+            rare_testbed: true,
+            seed: 7,
+        }
+    }
+
+    /// A mid-size dataset for the default benchmark harness: the full 125
+    /// chains of the paper at a reduced per-execution length.
+    pub fn medium() -> Self {
+        TelecomConfig {
+            num_chains: 125,
+            steps_per_execution: 160,
+            builds_per_chain: 4,
+            ..TelecomConfig::paper()
+        }
+    }
+}
+
+/// One build's test execution within a chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Execution {
+    /// The full environment tuple for this execution.
+    pub labels: EmLabels,
+    /// Chain the execution belongs to.
+    pub chain_id: usize,
+    /// Position within the chain (0 = oldest build).
+    pub build_seq: usize,
+    /// `steps x NUM_CF` contextual features.
+    pub cf: Matrix,
+    /// Observed CPU per timestep (faults applied).
+    pub cpu: Vec<f64>,
+    /// CPU before fault injection (for diagnostics and tests).
+    pub clean_cpu: Vec<f64>,
+    /// Observed memory utilisation per timestep (§4.2 notes the approach
+    /// covers "many types of resources such as CPU, memory and disk";
+    /// memory carries its own fault channel, typically leak-style drifts).
+    pub mem: Vec<f64>,
+    /// Memory before fault injection.
+    pub clean_mem: Vec<f64>,
+    /// Ground-truth injected CPU problems (empty for healthy executions).
+    pub faults: Vec<FaultWindow>,
+    /// Ground-truth injected memory problems.
+    pub mem_faults: Vec<FaultWindow>,
+}
+
+impl Execution {
+    /// Number of timesteps.
+    pub fn len(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// Whether the execution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cpu.is_empty()
+    }
+
+    /// Whether this execution contains any injected problem.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+}
+
+/// A build chain: fixed `(testbed, SUT, test case)` plus successive builds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildChain {
+    /// Chain identifier (0-based).
+    pub id: usize,
+    /// Testbed id shared by every execution.
+    pub testbed: String,
+    /// SUT shared by every execution.
+    pub sut: String,
+    /// Test case shared by every execution.
+    pub testcase: String,
+    /// Build type tested by this chain.
+    pub build_type: BuildType,
+    /// Executions, oldest build first; the last one is the "new build".
+    pub executions: Vec<Execution>,
+}
+
+impl BuildChain {
+    /// The chain's most recent execution (the build under test).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the chain has no executions (generation always creates
+    /// at least one).
+    pub fn current(&self) -> &Execution {
+        self.executions.last().expect("chains are non-empty")
+    }
+
+    /// The historical executions (everything but the current build).
+    pub fn history(&self) -> &[Execution] {
+        &self.executions[..self.executions.len() - 1]
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelecomDataset {
+    /// EM universe the chains were drawn from.
+    pub universe: Universe,
+    /// All build chains.
+    pub chains: Vec<BuildChain>,
+    /// The configuration used.
+    pub config: TelecomConfig,
+}
+
+impl TelecomDataset {
+    /// Generates the dataset described by `config`.
+    pub fn generate(config: TelecomConfig) -> Self {
+        let universe = Universe::generate(config.num_testbeds, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x5851_f42d));
+        let mut chains = Vec::with_capacity(config.num_chains);
+        for id in 0..config.num_chains {
+            // With `rare_testbed`, the last testbed belongs to chain 0
+            // alone; every other chain draws from the remaining pool.
+            let n_testbeds = universe.testbeds.len();
+            let testbed = if config.rare_testbed && id == 0 {
+                universe.testbeds[n_testbeds - 1].id.clone()
+            } else {
+                let pool = if config.rare_testbed {
+                    n_testbeds - 1
+                } else {
+                    n_testbeds
+                };
+                universe.testbeds[rng.gen_range(0..pool)].id.clone()
+            };
+            let sut = universe.suts[rng.gen_range(0..universe.suts.len())].clone();
+            let testcase = universe.testcases[rng.gen_range(0..universe.testcases.len())].clone();
+            // Build-type mix: mostly stable chains, per real release flow.
+            let build_type = match rng.gen_range(0..100) {
+                0..=49 => BuildType::Stable,
+                50..=64 => BuildType::Beta,
+                65..=79 => BuildType::Debug,
+                80..=89 => BuildType::Test,
+                _ => BuildType::Rc,
+            };
+            let first_version = rng.gen_range(1..=8u32);
+            // Chain 0 (the rare-testbed chain) is always screened with a
+            // problem so the Table 7 analysis has its under-covered case.
+            let faulty = (config.rare_testbed && id == 0) || rng.gen_bool(config.fault_fraction);
+            let executions = (0..config.builds_per_chain)
+                .map(|b| {
+                    let labels = EmLabels {
+                        testbed: testbed.clone(),
+                        sut: sut.clone(),
+                        testcase: testcase.clone(),
+                        build: build_type.label(first_version + b as u32),
+                    };
+                    let inject = faulty && b + 1 == config.builds_per_chain;
+                    generate_execution(&universe, &config, id, b, labels, inject)
+                })
+                .collect();
+            chains.push(BuildChain {
+                id,
+                testbed,
+                sut,
+                testcase,
+                build_type,
+                executions,
+            });
+        }
+        TelecomDataset {
+            universe,
+            chains,
+            config,
+        }
+    }
+
+    /// Total timesteps across all executions.
+    pub fn total_timesteps(&self) -> usize {
+        self.chains
+            .iter()
+            .flat_map(|c| c.executions.iter())
+            .map(Execution::len)
+            .sum()
+    }
+
+    /// Iterates over every execution in chain order.
+    pub fn executions(&self) -> impl Iterator<Item = &Execution> {
+        self.chains.iter().flat_map(|c| c.executions.iter())
+    }
+
+    /// Total number of ground-truth injected problems across all current
+    /// builds.
+    pub fn total_injected_problems(&self) -> usize {
+        self.chains.iter().map(|c| c.current().faults.len()).sum()
+    }
+}
+
+/// Deterministic per-execution seed.
+fn execution_seed(master: u64, chain: usize, build: usize) -> u64 {
+    master
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((chain as u64) << 20)
+        .wrapping_add(build as u64)
+}
+
+/// Deterministic small multiplier from a label (environment idiosyncrasy).
+fn label_factor(label: &str, spread: f64) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    1.0 + spread * (((h % 1000) as f64 / 1000.0) - 0.5)
+}
+
+/// Per-SUT response shape mapping `(load, burstiness)` to a unitless cost.
+fn sut_response(sut: &str, load: f64, burst: f64) -> f64 {
+    let kind = sut.strip_prefix("SUT_").unwrap_or(sut);
+    match kind {
+        // Database: superlinear in load (lock/IO contention).
+        "DB" => 0.55 * load + 0.35 * load.powf(1.8) + 0.08 * load * burst,
+        // Firewall: connection-table cost saturates.
+        "FW" => 0.85 * (load / (0.3 + load)) + 0.05 * burst,
+        // Load balancer: close to linear.
+        "LB" => 0.78 * load + 0.05 * burst,
+        // Media plane: strongly superlinear (transcoding).
+        "MEDIA" => 0.5 * load + 0.4 * load.powf(1.5) + 0.06 * burst,
+        // Signalling: quadratic in session pressure.
+        "SIG" => 0.5 * load + 0.4 * load * load + 0.04 * burst,
+        // Analytics: burst-dominated batch processing.
+        "AN" => 0.45 * load + 0.25 * burst + 0.05 * load * burst,
+        _ => 0.6 * load,
+    }
+}
+
+/// Generates one execution for the given environment.
+fn generate_execution(
+    universe: &Universe,
+    config: &TelecomConfig,
+    chain_id: usize,
+    build_seq: usize,
+    labels: EmLabels,
+    inject_faults: bool,
+) -> Execution {
+    let mut rng = StdRng::seed_from_u64(execution_seed(config.seed, chain_id, build_seq));
+    let steps = config.steps_per_execution;
+    let load = workload::load_profile(&mut rng, &labels.testcase, steps);
+    let burst = process::bursty(&mut rng, steps);
+
+    let capacity = universe
+        .testbed(&labels.testbed)
+        .map(|t| t.capacity)
+        .unwrap_or(1.0);
+    let build_type = labels.build_type().unwrap_or(BuildType::Stable);
+    // Per-version drift: successive builds change cost slightly, so build
+    // chains show real build-to-build evolution.
+    let version_factor = label_factor(&labels.build, 0.03);
+    let testcase_factor = label_factor(&labels.testcase, 0.2);
+    let env_noise = label_factor(&format!("{}#{}", labels.testbed, labels.sut), 0.1);
+
+    // Unmodelled infrastructure noise, kept well inside the 5-point
+    // absolute alarm filter (stationary bound about +/-2 CPU points): in
+    // the paper's data, healthy builds rarely deviate by 5+ points.
+    let ar = process::ar1(&mut rng, steps, 0.6, 0.008);
+    let clean_cpu: Vec<f64> = (0..steps)
+        .map(|t| {
+            let shape = sut_response(&labels.sut, load[t], burst[t]);
+            let cost = 0.08
+                + shape
+                    * build_type.cost_multiplier()
+                    * version_factor
+                    * testcase_factor
+                    * env_noise
+                    / capacity;
+            (100.0 * cost.clamp(0.01, 0.97) + 100.0 * ar[t]).clamp(1.0, 99.0)
+        })
+        .collect();
+
+    // Contextual features react to the clean CPU (congestion effects).
+    let cf = workload::contextual_features(&mut rng, &load, &clean_cpu);
+
+    // Memory: a base working set plus session-driven pages and a slow,
+    // benign sawtooth from periodic cache flushes. Memory draws come from
+    // a forked RNG so adding this channel leaves the CPU stream (and the
+    // documented experiment numbers) untouched.
+    let mut mem_rng =
+        StdRng::seed_from_u64(execution_seed(config.seed, chain_id, build_seq) ^ 0x6d656d);
+    let mem_ar = process::ar1(&mut mem_rng, steps, 0.8, 0.004);
+    let clean_mem: Vec<f64> = (0..steps)
+        .map(|t| {
+            let sessions = load[t];
+            let sawtooth = ((t % 64) as f64 / 64.0) * 3.0;
+            (28.0 + 35.0 * sessions + sawtooth + 100.0 * mem_ar[t]).clamp(1.0, 99.0)
+        })
+        .collect();
+
+    let fault_windows = if inject_faults {
+        faults::sample_faults(
+            &mut rng,
+            steps,
+            config.faults_per_execution,
+            config.fault_magnitude,
+        )
+    } else {
+        Vec::new()
+    };
+    let mut cpu = clean_cpu.clone();
+    for f in &fault_windows {
+        faults::apply(&mut cpu, f);
+    }
+
+    // Memory problems are predominantly leaks: long drifts, occasionally a
+    // level shift from a runaway cache. Injected on the same executions.
+    let mem_fault_windows = if inject_faults {
+        faults::sample_faults(&mut mem_rng, steps, 1, config.fault_magnitude)
+            .into_iter()
+            .map(|mut f| {
+                if matches!(
+                    f.kind,
+                    faults::FaultKind::Spike | faults::FaultKind::Saturation
+                ) {
+                    f.kind = faults::FaultKind::Drift;
+                }
+                f
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut mem = clean_mem.clone();
+    for f in &mem_fault_windows {
+        faults::apply(&mut mem, f);
+    }
+
+    Execution {
+        labels,
+        chain_id,
+        build_seq,
+        cf: cf.matrix,
+        cpu,
+        clean_cpu,
+        mem,
+        clean_mem,
+        faults: fault_windows,
+        mem_faults: mem_fault_windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TelecomDataset {
+        TelecomDataset::generate(TelecomConfig::small())
+    }
+
+    #[test]
+    fn paper_config_hits_400k_timesteps() {
+        let c = TelecomConfig::paper();
+        assert_eq!(
+            c.num_chains * c.builds_per_chain * c.steps_per_execution,
+            400_000
+        );
+        assert_eq!(c.num_chains, 125);
+    }
+
+    #[test]
+    fn generated_shape_matches_config() {
+        let ds = small();
+        let c = ds.config;
+        assert_eq!(ds.chains.len(), c.num_chains);
+        for chain in &ds.chains {
+            assert_eq!(chain.executions.len(), c.builds_per_chain);
+            for ex in &chain.executions {
+                assert_eq!(ex.len(), c.steps_per_execution);
+                assert_eq!(ex.cf.shape(), (c.steps_per_execution, workload::NUM_CF));
+            }
+        }
+        assert_eq!(
+            ds.total_timesteps(),
+            c.num_chains * c.builds_per_chain * c.steps_per_execution
+        );
+    }
+
+    #[test]
+    fn chain_executions_share_environment_but_not_build() {
+        let ds = small();
+        for chain in &ds.chains {
+            let first = &chain.executions[0].labels;
+            for ex in &chain.executions[1..] {
+                assert_eq!(ex.labels.testbed, first.testbed);
+                assert_eq!(ex.labels.sut, first.sut);
+                assert_eq!(ex.labels.testcase, first.testcase);
+                assert_ne!(ex.labels.build, first.build);
+                // Same type letter, advancing version.
+                assert_eq!(
+                    ex.labels.build_type(),
+                    first.build_type(),
+                    "chain keeps its build type"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_is_in_valid_percent_range() {
+        let ds = small();
+        for ex in ds.executions() {
+            assert!(ex.cpu.iter().all(|&v| (0.0..=100.0).contains(&v)));
+            assert!(ex.clean_cpu.iter().all(|&v| (0.0..=100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn faults_only_on_final_builds_and_alter_cpu() {
+        let ds = small();
+        let mut faulty = 0;
+        for chain in &ds.chains {
+            for ex in chain.history() {
+                assert!(!ex.has_faults(), "history must be clean");
+                assert_eq!(ex.cpu, ex.clean_cpu);
+            }
+            let cur = chain.current();
+            if cur.has_faults() {
+                faulty += 1;
+                assert_ne!(cur.cpu, cur.clean_cpu);
+                // Inside each window, observed >= clean (all faults raise
+                // or pin CPU).
+                for f in &cur.faults {
+                    for t in f.start..f.end.min(cur.len()) {
+                        assert!(cur.cpu[t] >= cur.clean_cpu[t] - 1e-9);
+                    }
+                }
+            }
+        }
+        // About half the chains should be faulty.
+        assert!(faulty >= 4 && faulty <= 12, "faulty chains {faulty}");
+    }
+
+    #[test]
+    fn memory_series_valid_and_leak_faults_are_drifts_or_shifts() {
+        let ds = small();
+        for ex in ds.executions() {
+            assert_eq!(ex.mem.len(), ex.len());
+            assert!(ex.mem.iter().all(|&v| (0.0..=100.0).contains(&v)));
+            for f in &ex.mem_faults {
+                assert!(matches!(
+                    f.kind,
+                    faults::FaultKind::Drift | faults::FaultKind::LevelShift
+                ));
+                // Within the window, observed memory >= clean memory.
+                for t in f.start..f.end.min(ex.len()) {
+                    assert!(ex.mem[t] >= ex.clean_mem[t] - 1e-9);
+                }
+            }
+        }
+        // Memory tracks offered load (sessions), so it correlates with
+        // active_sessions (CF column 4) on at least one healthy execution.
+        let ex = &ds.chains[1].executions[0];
+        let sessions = ex.cf.col(4);
+        let r = env2vec_linalg::stats::pearson(&sessions, &ex.clean_mem).unwrap();
+        assert!(r > 0.3, "mem/sessions correlation {r}");
+    }
+
+    #[test]
+    fn rare_testbed_belongs_to_chain_zero_alone() {
+        let ds = small();
+        let rare = ds.universe.testbeds.last().unwrap().id.clone();
+        assert_eq!(ds.chains[0].testbed, rare);
+        assert!(ds.chains[1..].iter().all(|c| c.testbed != rare));
+        // The rare-testbed chain is always screened with a problem.
+        assert!(ds.chains[0].current().has_faults());
+        // Disabling the knob returns to uniform sampling.
+        let mut cfg = TelecomConfig::small();
+        cfg.rare_testbed = false;
+        cfg.fault_fraction = 0.0;
+        let uniform = TelecomDataset::generate(cfg);
+        assert!(!uniform.chains[0].current().has_faults());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TelecomDataset::generate(TelecomConfig::small());
+        let b = TelecomDataset::generate(TelecomConfig::small());
+        assert_eq!(a.chains[0].current().cpu, b.chains[0].current().cpu);
+        let mut other = TelecomConfig::small();
+        other.seed = 99;
+        let c = TelecomDataset::generate(other);
+        assert_ne!(a.chains[0].current().cpu, c.chains[0].current().cpu);
+    }
+
+    #[test]
+    fn debug_builds_cost_more_than_stable_on_same_environment() {
+        // Construct matched executions differing only in build type.
+        let universe = Universe::generate(4, 1);
+        let config = TelecomConfig::small();
+        let mk = |build: &str| EmLabels {
+            testbed: "Testbed_00".into(),
+            sut: "SUT_DB".into(),
+            testcase: "Testcase_Endurance".into(),
+            build: build.into(),
+        };
+        let stable = generate_execution(&universe, &config, 0, 0, mk("S05"), false);
+        let debug = generate_execution(&universe, &config, 0, 0, mk("D05"), false);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&debug.cpu) > mean(&stable.cpu) + 3.0,
+            "debug {} vs stable {}",
+            mean(&debug.cpu),
+            mean(&stable.cpu)
+        );
+    }
+
+    #[test]
+    fn same_labels_same_series() {
+        let universe = Universe::generate(4, 1);
+        let config = TelecomConfig::small();
+        let labels = EmLabels {
+            testbed: "Testbed_01".into(),
+            sut: "SUT_LB".into(),
+            testcase: "Testcase_Load".into(),
+            build: "S03".into(),
+        };
+        let a = generate_execution(&universe, &config, 3, 1, labels.clone(), false);
+        let b = generate_execution(&universe, &config, 3, 1, labels, false);
+        assert_eq!(a.cpu, b.cpu);
+    }
+
+    #[test]
+    fn cpu_tracks_offered_load() {
+        let ds = small();
+        // Within each execution CPU should correlate positively with
+        // demand (CF column 2) for load-following SUTs.
+        let mut checked = 0;
+        for chain in &ds.chains {
+            if chain.sut == "SUT_AN" {
+                continue; // analytics is burst-driven, not load-driven
+            }
+            let ex = &chain.executions[0];
+            let demand = ex.cf.col(2);
+            let r = env2vec_linalg::stats::pearson(&demand, &ex.clean_cpu).unwrap();
+            assert!(r > 0.1, "chain {} ({}) corr {r}", chain.id, chain.sut);
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+}

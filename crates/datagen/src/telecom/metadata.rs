@@ -1,0 +1,300 @@
+//! Environment-metadata universe.
+//!
+//! Models Table 1 of the paper: every testbed carries hardware,
+//! virtualisation and OS metadata; systems under test and test cases come
+//! from fixed catalogues; builds are a type letter plus a version number
+//! (`S08`, `D02`, ...). An environment, as in §3.1, is the tuple
+//! `<Testbed_ID, SUT_Mod, Testcase_ID, Build_vers>`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Build type letter, the dominant behavioural factor (Figure 6 clusters
+/// by it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BuildType {
+    /// Debug build: instrumentation overhead, highest CPU cost.
+    Debug,
+    /// Test build: assertions enabled.
+    Test,
+    /// Beta build.
+    Beta,
+    /// Stable build: the reference cost.
+    Stable,
+    /// Release candidate: mildest cost.
+    Rc,
+}
+
+impl BuildType {
+    /// All build types.
+    pub const ALL: [BuildType; 5] = [
+        BuildType::Debug,
+        BuildType::Test,
+        BuildType::Beta,
+        BuildType::Stable,
+        BuildType::Rc,
+    ];
+
+    /// Single-letter code used in build labels (`S08`, `D02`, ...).
+    pub fn letter(self) -> char {
+        match self {
+            BuildType::Debug => 'D',
+            BuildType::Test => 'T',
+            BuildType::Beta => 'B',
+            BuildType::Stable => 'S',
+            BuildType::Rc => 'R',
+        }
+    }
+
+    /// Parses the leading letter of a build label.
+    pub fn from_letter(c: char) -> Option<BuildType> {
+        match c {
+            'D' => Some(BuildType::Debug),
+            'T' => Some(BuildType::Test),
+            'B' => Some(BuildType::Beta),
+            'S' => Some(BuildType::Stable),
+            'R' => Some(BuildType::Rc),
+            _ => None,
+        }
+    }
+
+    /// CPU-cost multiplier relative to a stable build.
+    pub fn cost_multiplier(self) -> f64 {
+        match self {
+            BuildType::Debug => 1.45,
+            BuildType::Test => 1.2,
+            BuildType::Beta => 1.08,
+            BuildType::Stable => 1.0,
+            BuildType::Rc => 0.93,
+        }
+    }
+
+    /// Formats a build label such as `S08`.
+    pub fn label(self, version: u32) -> String {
+        format!("{}{version:02}", self.letter())
+    }
+}
+
+/// The four EM values identifying one environment (§3.1's representative
+/// tuple).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EmLabels {
+    /// Testbed identifier, e.g. `Testbed_13`.
+    pub testbed: String,
+    /// System under test, e.g. `SUT_DB`.
+    pub sut: String,
+    /// Test case, e.g. `Testcase_Endurance`.
+    pub testcase: String,
+    /// Build label, e.g. `S08`.
+    pub build: String,
+}
+
+impl EmLabels {
+    /// Build type parsed from the build label, if recognisable.
+    pub fn build_type(&self) -> Option<BuildType> {
+        self.build.chars().next().and_then(BuildType::from_letter)
+    }
+
+    /// The four values in feature order `(testbed, sut, testcase, build)`.
+    pub fn values(&self) -> [&str; 4] {
+        [&self.testbed, &self.sut, &self.testcase, &self.build]
+    }
+}
+
+/// Hardware/stack description of one testbed (a row of the paper's
+/// Table 1 columns 1–3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Testbed {
+    /// Identifier, e.g. `Testbed_07`.
+    pub id: String,
+    /// CPU clock in GHz.
+    pub cpu_ghz: f64,
+    /// Core count.
+    pub cores: u32,
+    /// RAM in GB.
+    pub ram_gb: u32,
+    /// Whether DPDK fast-path is enabled.
+    pub dpdk: bool,
+    /// Whether SR-IOV is enabled.
+    pub sriov: bool,
+    /// Whether CPU pinning is configured.
+    pub cpu_pinning: bool,
+    /// Hypervisor name and version.
+    pub hypervisor: String,
+    /// Kernel version string.
+    pub kernel: String,
+    /// Effective capacity multiplier derived from the hardware (higher
+    /// capacity → lower CPU utilisation for the same load).
+    pub capacity: f64,
+}
+
+/// Catalogue of testbeds, SUTs and test cases from which environments are
+/// drawn.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Universe {
+    /// Available testbeds with their metadata.
+    pub testbeds: Vec<Testbed>,
+    /// System-under-test module names.
+    pub suts: Vec<String>,
+    /// Test-case names.
+    pub testcases: Vec<String>,
+}
+
+/// The SUT catalogue (module kinds with distinct response shapes).
+pub const SUT_KINDS: [&str; 6] = ["DB", "FW", "LB", "MEDIA", "SIG", "AN"];
+
+/// The test-case catalogue (workload shapes per §2/Table 1's last column).
+pub const TESTCASE_KINDS: [&str; 8] = [
+    "Endurance",
+    "Load",
+    "Regression",
+    "Volume",
+    "Stress",
+    "Spike",
+    "Capacity",
+    "Failover",
+];
+
+impl Universe {
+    /// Generates a universe of `num_testbeds` testbeds with randomised but
+    /// plausible hardware metadata.
+    pub fn generate(num_testbeds: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hypervisors = ["ESXi 6.5", "ESXi 6.7", "KVM 4.2", "KVM 5.0"];
+        let kernels = ["Linux 4.15", "Linux 5.3.7", "Linux 5.4.2"];
+        let testbeds = (0..num_testbeds)
+            .map(|i| {
+                let cpu_ghz = [2.1, 2.4, 2.6, 3.0, 3.4, 4.0][rng.gen_range(0..6)];
+                let cores = [8u32, 16, 24, 32, 48][rng.gen_range(0..5)];
+                let ram_gb = [32u32, 64, 128, 256][rng.gen_range(0..4)];
+                let dpdk = rng.gen_bool(0.5);
+                let sriov = rng.gen_bool(0.4);
+                let cpu_pinning = rng.gen_bool(0.5);
+                // Capacity grows with clock/cores and fast-path features.
+                let capacity = (cpu_ghz / 2.6)
+                    * (cores as f64 / 24.0).powf(0.35)
+                    * if dpdk { 1.15 } else { 1.0 }
+                    * if sriov { 1.05 } else { 1.0 }
+                    * if cpu_pinning { 1.08 } else { 1.0 };
+                Testbed {
+                    id: format!("Testbed_{i:02}"),
+                    cpu_ghz,
+                    cores,
+                    ram_gb,
+                    dpdk,
+                    sriov,
+                    cpu_pinning,
+                    hypervisor: hypervisors[rng.gen_range(0..hypervisors.len())].to_string(),
+                    kernel: kernels[rng.gen_range(0..kernels.len())].to_string(),
+                    capacity,
+                }
+            })
+            .collect();
+        Universe {
+            testbeds,
+            suts: SUT_KINDS.iter().map(|s| format!("SUT_{s}")).collect(),
+            testcases: TESTCASE_KINDS
+                .iter()
+                .map(|t| format!("Testcase_{t}"))
+                .collect(),
+        }
+    }
+
+    /// Looks up a testbed by id.
+    pub fn testbed(&self, id: &str) -> Option<&Testbed> {
+        self.testbeds.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_labels_round_trip() {
+        for bt in BuildType::ALL {
+            let label = bt.label(8);
+            assert_eq!(label.len(), 3);
+            assert_eq!(BuildType::from_letter(bt.letter()), Some(bt));
+        }
+        assert_eq!(BuildType::Stable.label(8), "S08");
+        assert_eq!(BuildType::from_letter('X'), None);
+    }
+
+    #[test]
+    fn debug_costs_more_than_stable_and_rc() {
+        assert!(BuildType::Debug.cost_multiplier() > BuildType::Stable.cost_multiplier());
+        assert!(BuildType::Stable.cost_multiplier() > BuildType::Rc.cost_multiplier());
+    }
+
+    #[test]
+    fn em_labels_expose_build_type_and_values() {
+        let em = EmLabels {
+            testbed: "Testbed_13".into(),
+            sut: "SUT_FW".into(),
+            testcase: "Testcase_Endurance".into(),
+            build: "D02".into(),
+        };
+        assert_eq!(em.build_type(), Some(BuildType::Debug));
+        assert_eq!(em.values()[0], "Testbed_13");
+        assert_eq!(em.values()[3], "D02");
+    }
+
+    #[test]
+    fn universe_has_requested_shape() {
+        let u = Universe::generate(20, 3);
+        assert_eq!(u.testbeds.len(), 20);
+        assert_eq!(u.suts.len(), 6);
+        assert_eq!(u.testcases.len(), 8);
+        assert!(u.testbed("Testbed_05").is_some());
+        assert!(u.testbed("Testbed_99").is_none());
+    }
+
+    #[test]
+    fn universe_deterministic_and_capacity_positive() {
+        let a = Universe::generate(10, 9);
+        let b = Universe::generate(10, 9);
+        for (x, y) in a.testbeds.iter().zip(&b.testbeds) {
+            assert_eq!(x.capacity, y.capacity);
+            assert!(x.capacity > 0.3 && x.capacity < 3.0);
+        }
+    }
+
+    #[test]
+    fn dpdk_testbeds_have_higher_capacity_all_else_equal() {
+        // Construct two identical testbeds differing only in DPDK.
+        let base = Testbed {
+            id: "t".into(),
+            cpu_ghz: 2.6,
+            cores: 24,
+            ram_gb: 64,
+            dpdk: false,
+            sriov: false,
+            cpu_pinning: false,
+            hypervisor: "KVM 5.0".into(),
+            kernel: "Linux 5.3.7".into(),
+            capacity: 1.0,
+        };
+        // The capacity formula multiplies 1.15 for DPDK; verify the
+        // documented relationship via Universe samples.
+        let u = Universe::generate(200, 1);
+        let avg = |flag: bool| {
+            let xs: Vec<f64> = u
+                .testbeds
+                .iter()
+                .filter(|t| t.dpdk == flag)
+                .map(|t| {
+                    t.capacity
+                        / ((t.cpu_ghz / 2.6)
+                            * (t.cores as f64 / 24.0).powf(0.35)
+                            * if t.sriov { 1.05 } else { 1.0 }
+                            * if t.cpu_pinning { 1.08 } else { 1.0 })
+                })
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(avg(true) > avg(false));
+        let _ = base;
+    }
+}

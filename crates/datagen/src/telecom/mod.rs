@@ -1,0 +1,32 @@
+//! Synthetic carrier-grade VNF testing dataset.
+//!
+//! Stands in for the paper's proprietary telecom data (§4.2.1): "125 build
+//! chains for multiple combinations of testbed, build type, SUT, and test
+//! case, ... about 400,000 timesteps/data points measured at 15 minute
+//! intervals". Each build chain fixes a `(testbed, SUT, test case)`
+//! environment and runs successive software builds through it; every
+//! execution produces a contextual time series (workload + performance
+//! metrics) and the CPU usage of the network function.
+//!
+//! The generator's key property is that the CPU response **factorises over
+//! the environment-metadata labels**: a per-SUT nonlinear response, scaled
+//! by a per-testbed capacity, shaped by the test case's workload profile,
+//! and multiplied by a per-build-type cost factor. Environments sharing
+//! labels therefore behave similarly — exactly the structure environment
+//! embeddings exist to exploit, and the reason Figure 6's clusters are
+//! organised by build type (the dominant factor here, as in the paper).
+//!
+//! Ground-truth performance problems come from [`faults`]: CPU-only
+//! perturbations (spikes, level shifts, drifts, saturations) that no
+//! contextual feature explains, standing in for the engineer-labelled
+//! problems of §4.2.2.
+
+pub mod faults;
+pub mod generator;
+pub mod metadata;
+pub mod workload;
+
+pub use faults::{FaultKind, FaultWindow};
+pub use generator::{BuildChain, Execution, TelecomConfig, TelecomDataset};
+pub use metadata::{BuildType, EmLabels, Universe};
+pub use workload::{ContextualFeatures, NUM_CF};

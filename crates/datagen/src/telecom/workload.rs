@@ -1,0 +1,202 @@
+//! Workload and performance metrics (the contextual features).
+//!
+//! The paper's dataframe (Table 2) feeds the model workload metrics (WMs:
+//! client UEs, burst period, demand) and performance metrics (PMs: success
+//! ratios, error response codes, packet counters). This module produces a
+//! per-timestep [`ContextualFeatures`] matrix from a test case's load
+//! profile: the test case determines the *shape* of the offered load, the
+//! WMs describe it, and the PMs react to the (clean) CPU level so the
+//! feature set is realistically interdependent.
+
+use env2vec_linalg::Matrix;
+use rand::Rng;
+
+use crate::process;
+
+/// Number of contextual features per timestep.
+pub const NUM_CF: usize = 14;
+
+/// Names of the contextual features, in column order.
+pub const CF_NAMES: [&str; NUM_CF] = [
+    "client_ue",
+    "burst_period",
+    "demand_mbps",
+    "session_rate",
+    "active_sessions",
+    "handover_rate",
+    "success_ratio",
+    "response_code_50x",
+    "packet_tx",
+    "packet_rx",
+    "latency_ms",
+    "retransmissions",
+    "cpu_steal",
+    "io_wait",
+];
+
+/// The latent offered-load series plus the observable CF matrix.
+#[derive(Debug, Clone)]
+pub struct ContextualFeatures {
+    /// Normalised offered load per timestep, in `[0, 1]`.
+    pub load: Vec<f64>,
+    /// Burstiness level per timestep, in `[0, 1]`.
+    pub burstiness: Vec<f64>,
+    /// `steps x NUM_CF` observable feature matrix.
+    pub matrix: Matrix,
+}
+
+/// Builds the offered-load profile for a test case.
+///
+/// Unknown test-case names get the endurance (constant) profile.
+pub fn load_profile(rng: &mut impl Rng, testcase: &str, steps: usize) -> Vec<f64> {
+    let kind = testcase.strip_prefix("Testcase_").unwrap_or(testcase);
+    match kind {
+        "Endurance" => vec![0.6; steps],
+        "Load" => process::step_load(steps, 5),
+        "Regression" => process::diurnal(steps, 15.0, 0.0),
+        "Volume" => process::surge(steps, steps * 2 / 3, steps / 10),
+        "Stress" => vec![0.9; steps],
+        "Spike" => process::surge(steps, steps / 2, (steps / 40).max(1)),
+        "Capacity" => process::step_load(steps, 8),
+        "Failover" => {
+            // Load halves mid-run (node failover) then recovers.
+            (0..steps)
+                .map(|i| {
+                    if i > steps / 2 && i < steps / 2 + steps / 8 {
+                        0.35
+                    } else {
+                        0.7
+                    }
+                })
+                .collect()
+        }
+        _ => vec![0.6; steps],
+    }
+    .into_iter()
+    .zip(process::ar1(rng, steps, 0.8, 0.02))
+    .map(|(base, jitter)| (base + jitter).clamp(0.02, 1.0))
+    .collect()
+}
+
+/// Generates the full CF matrix given the load profile and the *clean* CPU
+/// series (PMs degrade as CPU saturates).
+pub fn contextual_features(
+    rng: &mut impl Rng,
+    load: &[f64],
+    clean_cpu: &[f64],
+) -> ContextualFeatures {
+    let steps = load.len();
+    assert_eq!(steps, clean_cpu.len(), "load/cpu length mismatch");
+    let burst = process::bursty(rng, steps);
+    let mut rows = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let l = load[t];
+        let b = burst[t];
+        let cpu = clean_cpu[t];
+        let jitter =
+            |rng: &mut dyn rand::RngCore, scale: f64| 1.0 + scale * (rng.gen_range(0.0..2.0) - 1.0);
+        // Congestion factor: PMs degrade smoothly above ~80% CPU.
+        let congestion = ((cpu - 80.0) / 20.0).clamp(0.0, 1.0);
+        let row = vec![
+            (5000.0 * l * jitter(rng, 0.02)).round(),        // client_ue
+            2.0 + 8.0 * b * jitter(rng, 0.03),               // burst_period
+            900.0 * l * (1.0 + 0.3 * b) * jitter(rng, 0.02), // demand_mbps
+            120.0 * l * jitter(rng, 0.03),                   // session_rate
+            (20000.0 * l * jitter(rng, 0.02)).round(),       // active_sessions
+            15.0 * l * b * jitter(rng, 0.05),                // handover_rate
+            (0.999 - 0.05 * congestion) * jitter(rng, 0.001), // success_ratio
+            (40.0 * congestion + 0.5) * jitter(rng, 0.3),    // response_code_50x
+            (2.0e6 * l * jitter(rng, 0.015)).round(),        // packet_tx
+            (1.9e6 * l * jitter(rng, 0.015)).round(),        // packet_rx
+            8.0 + 30.0 * congestion + 4.0 * b,               // latency_ms
+            (500.0 * congestion + 20.0 * b) * jitter(rng, 0.2), // retransmissions
+            2.0 * rng.gen_range(0.0..1.0),                   // cpu_steal
+            1.0 + 3.0 * congestion * jitter(rng, 0.2),       // io_wait
+        ];
+        rows.push(row);
+    }
+    ContextualFeatures {
+        load: load.to_vec(),
+        burstiness: burst,
+        matrix: Matrix::from_rows(&rows).expect("fixed-width rows"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn profiles_are_bounded_and_shaped() {
+        let mut r = rng();
+        for tc in crate::telecom::metadata::TESTCASE_KINDS {
+            let p = load_profile(&mut r, &format!("Testcase_{tc}"), 200);
+            assert_eq!(p.len(), 200);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)), "{tc}");
+        }
+        // Load profile is increasing on average; endurance is flat.
+        let load = load_profile(&mut r, "Testcase_Load", 200);
+        let endurance = load_profile(&mut r, "Testcase_Endurance", 200);
+        let first_half = |p: &[f64]| p[..100].iter().sum::<f64>() / 100.0;
+        let second_half = |p: &[f64]| p[100..].iter().sum::<f64>() / 100.0;
+        assert!(second_half(&load) - first_half(&load) > 0.2);
+        assert!((second_half(&endurance) - first_half(&endurance)).abs() < 0.1);
+    }
+
+    #[test]
+    fn unknown_testcase_falls_back_to_endurance_shape() {
+        let p = load_profile(&mut rng(), "Testcase_Mystery", 100);
+        let mean: f64 = p.iter().sum::<f64>() / 100.0;
+        assert!((mean - 0.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn cf_matrix_shape_and_names_agree() {
+        let mut r = rng();
+        let load = load_profile(&mut r, "Testcase_Regression", 96);
+        let cpu = vec![50.0; 96];
+        let cf = contextual_features(&mut r, &load, &cpu);
+        assert_eq!(cf.matrix.shape(), (96, NUM_CF));
+        assert_eq!(CF_NAMES.len(), NUM_CF);
+        assert!(cf.matrix.is_finite());
+    }
+
+    #[test]
+    fn demand_tracks_load() {
+        let mut r = rng();
+        let load = load_profile(&mut r, "Testcase_Load", 300);
+        let cpu = vec![40.0; 300];
+        let cf = contextual_features(&mut r, &load, &cpu);
+        let demand = cf.matrix.col(2);
+        let corr = env2vec_linalg::stats::pearson(&demand, &load).unwrap();
+        assert!(corr > 0.9, "demand/load correlation {corr}");
+    }
+
+    #[test]
+    fn congestion_degrades_pms() {
+        let mut r = rng();
+        let load = vec![0.6; 200];
+        let low_cpu = vec![40.0; 200];
+        let high_cpu = vec![95.0; 200];
+        let low = contextual_features(&mut r, &load, &low_cpu);
+        let high = contextual_features(&mut r, &load, &high_cpu);
+        let mean = |m: &Matrix, col: usize| m.col(col).iter().sum::<f64>() / 200.0;
+        // success_ratio drops, 50x codes and latency rise.
+        assert!(mean(&high.matrix, 6) < mean(&low.matrix, 6));
+        assert!(mean(&high.matrix, 7) > mean(&low.matrix, 7));
+        assert!(mean(&high.matrix, 10) > mean(&low.matrix, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut r = rng();
+        contextual_features(&mut r, &[0.5; 10], &[50.0; 5]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Alarm scoring against ground-truth fault windows.
+//!
+//! §4.2.2 of the paper scores detectors by true/false alarm rate:
+//! `A_T = N_tp / (N_tp + N_fp)` and `A_F = 1 − A_T`, with engineers
+//! labelling each raised alarm. Our synthetic data carries exact fault
+//! windows, so an alarm is a *true positive* when its interval overlaps a
+//! ground-truth window of the same execution, and a *false positive*
+//! otherwise. Each detector's alarms are intervals of timesteps, matching
+//! how Env2Vec reports "the time interval of such deviation".
+
+use env2vec::anomaly::AnomalyInterval;
+use env2vec_datagen::telecom::FaultWindow;
+
+/// Outcome of matching one detector's alarms on one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlarmCounts {
+    /// Alarms raised.
+    pub alarms: usize,
+    /// Alarms overlapping a ground-truth fault window.
+    pub correct: usize,
+    /// Ground-truth fault windows hit by at least one alarm.
+    pub problems_found: usize,
+    /// Total flagged timesteps across all alarms. Unlike the merged alarm
+    /// count, this is guaranteed monotone in γ (a stricter threshold can
+    /// split one interval into several, but never flags new timesteps).
+    pub flagged_steps: usize,
+}
+
+impl AlarmCounts {
+    /// Accumulates another execution's counts.
+    pub fn add(&mut self, other: AlarmCounts) {
+        self.alarms += other.alarms;
+        self.correct += other.correct;
+        self.problems_found += other.problems_found;
+        self.flagged_steps += other.flagged_steps;
+    }
+
+    /// True-alarm rate `A_T` (1.0 when no alarms were raised — matching
+    /// the convention that an empty alarm set has no false alarms; callers
+    /// normally report `N/A` in that case).
+    pub fn a_t(&self) -> f64 {
+        if self.alarms == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.alarms as f64
+        }
+    }
+
+    /// False-alarm rate `A_F = 1 − A_T`.
+    pub fn a_f(&self) -> f64 {
+        1.0 - self.a_t()
+    }
+}
+
+/// Matches alarm intervals against fault windows for one execution.
+///
+/// Both are in the same timestep coordinates. `offset` shifts the alarm
+/// intervals (dataframes drop the first `window` timesteps, so detectors
+/// working in dataframe coordinates pass their window size here).
+///
+/// `pad_after` extends each fault window's end when matching: detectors
+/// that feed the *observed* history back into the model keep seeing the
+/// problem's tail for a few steps after it clears, so a deviation raised
+/// immediately after the window is attributable to that problem — the
+/// paper's engineers, labelling pooled alarms, would credit it the same
+/// way. Callers pass their history-window length.
+pub fn score_alarms(
+    alarms: &[AnomalyInterval],
+    faults: &[FaultWindow],
+    offset: usize,
+    pad_after: usize,
+) -> AlarmCounts {
+    let hits = |a: &AnomalyInterval, f: &FaultWindow| {
+        a.start + offset < f.end + pad_after && f.start < a.end + offset
+    };
+    let correct = alarms
+        .iter()
+        .filter(|a| faults.iter().any(|f| hits(a, f)))
+        .count();
+    let problems_found = faults
+        .iter()
+        .filter(|f| alarms.iter().any(|a| hits(a, f)))
+        .count();
+    AlarmCounts {
+        alarms: alarms.len(),
+        correct,
+        problems_found,
+        flagged_steps: alarms.iter().map(|a| a.end - a.start).sum(),
+    }
+}
+
+/// Converts a boolean per-timestep alarm series (e.g. HTM-AD scores
+/// thresholded at 1.0) into merged intervals, mirroring how contiguous
+/// flags count as one alarm.
+pub fn flags_to_intervals(flags: &[bool]) -> Vec<AnomalyInterval> {
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t < flags.len() {
+        if !flags[t] {
+            t += 1;
+            continue;
+        }
+        let start = t;
+        while t < flags.len() && flags[t] {
+            t += 1;
+        }
+        out.push(AnomalyInterval {
+            start,
+            end: t,
+            peak: start,
+            predicted_at_peak: 0.0,
+            observed_at_peak: 0.0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_datagen::telecom::FaultKind;
+
+    fn interval(start: usize, end: usize) -> AnomalyInterval {
+        AnomalyInterval {
+            start,
+            end,
+            peak: start,
+            predicted_at_peak: 0.0,
+            observed_at_peak: 0.0,
+        }
+    }
+
+    fn fault(start: usize, end: usize) -> FaultWindow {
+        FaultWindow {
+            start,
+            end,
+            kind: FaultKind::Spike,
+            magnitude: 10.0,
+        }
+    }
+
+    #[test]
+    fn overlapping_alarm_is_correct() {
+        let counts = score_alarms(&[interval(10, 15)], &[fault(12, 20)], 0, 0);
+        assert_eq!(counts.alarms, 1);
+        assert_eq!(counts.correct, 1);
+        assert_eq!(counts.problems_found, 1);
+        assert_eq!(counts.a_t(), 1.0);
+        assert_eq!(counts.a_f(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_alarm_is_false_positive() {
+        let counts = score_alarms(&[interval(0, 5)], &[fault(50, 60)], 0, 0);
+        assert_eq!(counts.correct, 0);
+        assert_eq!(counts.problems_found, 0);
+        assert_eq!(counts.a_t(), 0.0);
+    }
+
+    #[test]
+    fn offset_shifts_alarm_coordinates() {
+        // Alarm at dataframe index 8 with window offset 2 = raw index 10.
+        let hit = score_alarms(&[interval(8, 9)], &[fault(10, 12)], 2, 0);
+        assert_eq!(hit.correct, 1);
+        let miss = score_alarms(&[interval(8, 9)], &[fault(10, 12)], 0, 0);
+        assert_eq!(miss.correct, 0);
+    }
+
+    #[test]
+    fn one_fault_hit_by_two_alarms_counts_once_as_problem() {
+        let counts = score_alarms(&[interval(10, 12), interval(14, 16)], &[fault(9, 20)], 0, 0);
+        assert_eq!(counts.alarms, 2);
+        assert_eq!(counts.correct, 2);
+        assert_eq!(counts.problems_found, 1);
+    }
+
+    #[test]
+    fn aggregate_add_and_rates() {
+        let mut total = AlarmCounts::default();
+        total.add(AlarmCounts {
+            alarms: 3,
+            correct: 2,
+            problems_found: 2,
+            flagged_steps: 9,
+        });
+        total.add(AlarmCounts {
+            alarms: 1,
+            correct: 0,
+            problems_found: 0,
+            flagged_steps: 2,
+        });
+        assert_eq!(total.alarms, 4);
+        assert_eq!(total.flagged_steps, 11);
+        assert_eq!(total.a_t(), 0.5);
+        assert_eq!(total.a_f(), 0.5);
+        // No alarms → A_T defined as 1.0.
+        assert_eq!(AlarmCounts::default().a_t(), 1.0);
+    }
+
+    #[test]
+    fn pad_after_credits_trailing_echo_alarms() {
+        // Alarm at 20..22, fault ended at 20: without padding it is a
+        // false positive, with a 2-step pad it is attributed.
+        let miss = score_alarms(&[interval(20, 22)], &[fault(10, 20)], 0, 0);
+        assert_eq!(miss.correct, 0);
+        let hit = score_alarms(&[interval(20, 22)], &[fault(10, 20)], 0, 2);
+        assert_eq!(hit.correct, 1);
+        assert_eq!(hit.problems_found, 1);
+    }
+
+    #[test]
+    fn flags_merge_into_intervals() {
+        let flags = [false, true, true, false, true, false];
+        let ivs = flags_to_intervals(&flags);
+        assert_eq!(ivs.len(), 2);
+        assert_eq!((ivs[0].start, ivs[0].end), (1, 3));
+        assert_eq!((ivs[1].start, ivs[1].end), (4, 5));
+        assert!(flags_to_intervals(&[false; 4]).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 3: Env2Vec (single model) vs per-chain Ridge_ts.
+//!
+//! (a) per-chain MAE improvement of the single Env2Vec model over 125
+//! per-chain `Ridge_ts` models, with the mean MAE/MSE summary table;
+//! (b) the same comparison for `RFNN_all`, showing embeddings are what
+//! make the single model competitive.
+
+use env2vec_linalg::Result;
+
+use crate::render::TextTable;
+use crate::telecom_study::{method_index, Method, TelecomStudy};
+
+/// Structured Figure 3 payload.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Per-chain MAE improvement of Env2Vec over Ridge_ts
+    /// (positive = Env2Vec better).
+    pub env2vec_improvement: Vec<f64>,
+    /// Per-chain MAE improvement of RFNN_all over Ridge_ts.
+    pub rfnn_all_improvement: Vec<f64>,
+    /// Mean MAE per method over all chains, [`Method::ALL`] order.
+    pub mean_mae: [f64; 4],
+    /// Mean MSE per method over all chains.
+    pub mean_mse: [f64; 4],
+}
+
+/// Computes the per-chain improvements and summary means.
+pub fn compute(study: &TelecomStudy) -> Fig3Result {
+    let n = study.chains.len() as f64;
+    let mut mean_mae = [0.0; 4];
+    let mut mean_mse = [0.0; 4];
+    for chain in &study.chains {
+        for i in 0..4 {
+            mean_mae[i] += chain.clean_mae[i] / n;
+            mean_mse[i] += chain.clean_mse[i] / n;
+        }
+    }
+    let rts = method_index(Method::RidgeTs);
+    let e2v = method_index(Method::Env2Vec);
+    let rfa = method_index(Method::RfnnAll);
+    let env2vec_improvement = study
+        .chains
+        .iter()
+        .map(|c| c.clean_mae[rts] - c.clean_mae[e2v])
+        .collect();
+    let rfnn_all_improvement = study
+        .chains
+        .iter()
+        .map(|c| c.clean_mae[rts] - c.clean_mae[rfa])
+        .collect();
+    Fig3Result {
+        env2vec_improvement,
+        rfnn_all_improvement,
+        mean_mae,
+        mean_mse,
+    }
+}
+
+/// Renders the improvement profile and the summary table.
+pub fn run(study: &TelecomStudy) -> Result<String> {
+    let r = compute(study);
+    let frac_better =
+        |imps: &[f64]| imps.iter().filter(|&&x| x > 0.0).count() as f64 / imps.len() as f64;
+    let mean = |imps: &[f64]| imps.iter().sum::<f64>() / imps.len() as f64;
+
+    let mut t = TextTable::new(&["Method", "mean MAE", "mean MSE"]);
+    for m in Method::ALL {
+        let i = method_index(m);
+        t.row(&[
+            m.name().to_string(),
+            format!("{:.3}", r.mean_mae[i]),
+            format!("{:.3}", r.mean_mse[i]),
+        ]);
+    }
+    Ok(format!(
+        "Figure 3a. Env2Vec (single model) vs per-chain Ridge_ts over {} \
+         build chains:\n  Env2Vec better on {:.0}% of chains; mean MAE \
+         improvement {:+.3} CPU points.\n\nFigure 3b. RFNN_all (pooled, no \
+         embeddings) vs per-chain Ridge_ts:\n  RFNN_all better on {:.0}% of \
+         chains; mean MAE improvement {:+.3} CPU points.\n\nSummary (mean \
+         over all chains, the table at the bottom-left of Figure 3a):\n\n{}",
+        r.env2vec_improvement.len(),
+        100.0 * frac_better(&r.env2vec_improvement),
+        mean(&r.env2vec_improvement),
+        100.0 * frac_better(&r.rfnn_all_improvement),
+        mean(&r.rfnn_all_improvement),
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_env2vec_competitive_in_fast_mode() {
+        // The strict "Env2Vec beats RFNN_all" claim is asserted on
+        // isolated synthetic data (core::train tests, xtests) and holds on
+        // the standard 125-chain run (see EXPERIMENTS.md). The fast preset
+        // has only 16 chains, one of which is the deliberately
+        // under-covered rare-testbed chain (Table 7), so here we assert
+        // the robust median relation and overall competitiveness.
+        let study = crate::telecom_study::test_study();
+        let r = compute(study);
+        let median = |idx: usize| {
+            let mut v: Vec<f64> = study.chains.iter().map(|c| c.clean_mae[idx]).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite MAE"));
+            v[v.len() / 2]
+        };
+        let e2v = method_index(Method::Env2Vec);
+        let rfa = method_index(Method::RfnnAll);
+        let rts = method_index(Method::RidgeTs);
+        assert!(
+            median(e2v) < median(rfa) * 1.25,
+            "Env2Vec median {} vs RFNN_all {}",
+            median(e2v),
+            median(rfa)
+        );
+        // The single model stays within range of 16 dedicated models.
+        assert!(
+            r.mean_mae[e2v] < r.mean_mae[rts] * 1.6,
+            "Env2Vec mean {} vs Ridge_ts {}",
+            r.mean_mae[e2v],
+            r.mean_mae[rts]
+        );
+        let out = run(study).unwrap();
+        assert!(out.contains("Figure 3a"));
+        assert!(out.contains("Env2Vec"));
+    }
+}

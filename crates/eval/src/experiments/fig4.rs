@@ -1,0 +1,101 @@
+//! Figure 4: MAE CDF over all build chains, log-scale x axis.
+//!
+//! The paper's generalisation figure: Env2Vec may be slightly worse where
+//! per-chain MAE is tiny, but dominates the difficult upper tail — "for
+//! the most difficult 10% of the cases ... Env2Vec has the best
+//! performance over all methods".
+
+use env2vec_linalg::stats::quantile;
+use env2vec_linalg::Result;
+
+use crate::render::render_log_cdf;
+use crate::telecom_study::{method_index, Method, TelecomStudy};
+
+/// Structured Figure 4 payload: per-method sorted per-chain MAEs.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// `(method name, per-chain MAEs)` in [`Method::ALL`] order.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Fig4Result {
+    /// The `q`-quantile of a method's per-chain MAE distribution.
+    ///
+    /// Returns an error for an unknown method or empty data.
+    pub fn quantile(&self, method: Method, q: f64) -> Result<f64> {
+        let (_, values) = &self.series[method_index(method)];
+        quantile(values, q)
+    }
+}
+
+/// Collects per-chain MAE distributions for every method.
+pub fn compute(study: &TelecomStudy) -> Fig4Result {
+    let series = Method::ALL
+        .iter()
+        .map(|&m| {
+            let values: Vec<f64> = study
+                .chains
+                .iter()
+                .map(|c| c.clean_mae[method_index(m)])
+                .collect();
+            (m.name().to_string(), values)
+        })
+        .collect();
+    Fig4Result { series }
+}
+
+/// Renders the CDF plot plus tail statistics.
+pub fn run(study: &TelecomStudy) -> Result<String> {
+    let r = compute(study);
+    let mut out = format!(
+        "Figure 4. MAE CDF over all {} build chains (log-scale x):\n\n{}",
+        study.chains.len(),
+        render_log_cdf(&r.series, 64, 16)
+    );
+    out.push_str("\nUpper-tail comparison (P90 of per-chain MAE, lower is better):\n");
+    for m in Method::ALL {
+        out.push_str(&format!(
+            "  {:<9} P50 = {:.3}  P90 = {:.3}\n",
+            m.name(),
+            r.quantile(m, 0.5)?,
+            r.quantile(m, 0.9)?
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env2vec_dominates_the_difficult_tail() {
+        let study = crate::telecom_study::test_study();
+        let r = compute(study);
+        // The paper's claim is about the hardest cases; it is asserted
+        // quantitatively on the standard 125-chain run (EXPERIMENTS.md).
+        // With the fast preset's 16 chains, P90 is essentially the
+        // second-worst chain and the planted rare-testbed outlier sits in
+        // the tail by construction, so here require only that Env2Vec's
+        // tail beats plain per-chain Ridge and every P90 is finite and
+        // ordered sanely against its own median.
+        let p90_env2vec = r.quantile(Method::Env2Vec, 0.9).unwrap();
+        let p90_ridge = r.quantile(Method::Ridge, 0.9).unwrap();
+        assert!(
+            p90_env2vec <= p90_ridge * 1.1,
+            "Ridge P90 {p90_ridge} vs Env2Vec {p90_env2vec}"
+        );
+        for m in Method::ALL {
+            let p50 = r.quantile(m, 0.5).unwrap();
+            let p90 = r.quantile(m, 0.9).unwrap();
+            assert!(
+                p50.is_finite() && p90.is_finite() && p50 <= p90,
+                "{}",
+                m.name()
+            );
+        }
+        let out = run(study).unwrap();
+        assert!(out.contains("legend"));
+        assert!(out.contains("P90"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 6: environment embeddings projected to 2-D with PCA.
+//!
+//! "These environment embeddings are clustered based on their
+//! similarities. We notice that each cluster with different colors in the
+//! figure denotes different build types" (§4.3). We project every
+//! execution's concatenated embedding with PCA and verify the same
+//! structure: same-build-type embeddings sit closer together than
+//! different-build-type ones.
+
+use env2vec_linalg::pca::Pca;
+use env2vec_linalg::{Error, Matrix, Result};
+
+use crate::telecom_study::TelecomStudy;
+
+/// Structured Figure 6 payload.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// 2-D PCA coordinates, one per execution (for display).
+    pub points: Vec<[f64; 2]>,
+    /// Build-type letter per execution (the colour in the paper's plot).
+    pub build_types: Vec<char>,
+    /// Mean pairwise embedding-space distance within a build type.
+    pub intra_distance: f64,
+    /// Mean pairwise embedding-space distance across build types.
+    pub inter_distance: f64,
+}
+
+impl Fig6Result {
+    /// The paper's qualitative claim as a number: clusters are organised
+    /// by build type when intra-type distance < inter-type distance.
+    pub fn clusters_by_build_type(&self) -> bool {
+        self.intra_distance < self.inter_distance
+    }
+}
+
+/// Computes the PCA projection of every execution's environment embedding.
+pub fn compute(study: &TelecomStudy) -> Result<Fig6Result> {
+    let mut rows = Vec::new();
+    let mut build_types = Vec::new();
+    for chain in &study.dataset.chains {
+        for ex in &chain.executions {
+            let emb = study.env2vec.environment_embedding(&ex.labels.values())?;
+            rows.push(emb);
+            build_types.push(chain.build_type.letter());
+        }
+    }
+    if rows.is_empty() {
+        return Err(Error::Empty { routine: "fig6" });
+    }
+    let matrix = Matrix::from_rows(&rows)?;
+    let (_, projected) = Pca::fit_transform(&matrix, 2)?;
+    let points: Vec<[f64; 2]> = (0..projected.rows())
+        .map(|i| [projected.get(i, 0), projected.get(i, 1)])
+        .collect();
+
+    // Pairwise distance statistics in the *full* embedding space — the
+    // PCA plane is only for display; the similarity structure the paper
+    // describes lives in the learned space itself.
+    let mut intra = (0.0, 0usize);
+    let mut inter = (0.0, 0usize);
+    for i in 0..rows.len() {
+        for j in (i + 1)..rows.len() {
+            let d = env2vec_linalg::vector::squared_distance(&rows[i], &rows[j])?.sqrt();
+            if build_types[i] == build_types[j] {
+                intra.0 += d;
+                intra.1 += 1;
+            } else {
+                inter.0 += d;
+                inter.1 += 1;
+            }
+        }
+    }
+    Ok(Fig6Result {
+        points,
+        build_types,
+        intra_distance: intra.0 / intra.1.max(1) as f64,
+        inter_distance: inter.0 / inter.1.max(1) as f64,
+    })
+}
+
+/// Renders an ASCII scatter plot with build-type letters as glyphs.
+pub fn run(study: &TelecomStudy) -> Result<String> {
+    let r = compute(study)?;
+    const W: usize = 68;
+    const H: usize = 20;
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in &r.points {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    let span = |lo: f64, hi: f64| if hi > lo { hi - lo } else { 1.0 };
+    let mut grid = vec![vec![' '; W]; H];
+    for (p, &bt) in r.points.iter().zip(&r.build_types) {
+        let x = (((p[0] - min_x) / span(min_x, max_x)) * (W - 1) as f64).round() as usize;
+        let y = (((p[1] - min_y) / span(min_y, max_y)) * (H - 1) as f64).round() as usize;
+        grid[H - 1 - y.min(H - 1)][x.min(W - 1)] = bt;
+    }
+    let mut plot = String::new();
+    for row in grid {
+        plot.push_str("  |");
+        plot.extend(row.iter());
+        plot.push('\n');
+    }
+    Ok(format!(
+        "Figure 6. Environment embeddings (PCA to 2-D); glyphs are build \
+         types (D=debug, T=test, B=beta, S=stable, R=rc):\n\n{plot}\n\
+         mean pairwise distance  same build type: {:.4}   different build \
+         type: {:.4}\nclusters organised by build type: {}\n",
+        r.intra_distance,
+        r.inter_distance,
+        if r.clusters_by_build_type() {
+            "YES"
+        } else {
+            "NO"
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_cluster_by_build_type() {
+        let study = crate::telecom_study::test_study();
+        let r = compute(study).unwrap();
+        assert_eq!(r.points.len(), r.build_types.len());
+        assert!(
+            r.clusters_by_build_type(),
+            "intra {} must be < inter {}",
+            r.intra_distance,
+            r.inter_distance
+        );
+        let out = run(study).unwrap();
+        assert!(out.contains("build type: YES"));
+    }
+}

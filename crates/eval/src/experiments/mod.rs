@@ -1,0 +1,19 @@
+//! One module per reproduced table or figure.
+//!
+//! Every experiment returns rendered text (printed by the `repro` binary)
+//! and, where useful, a structured result that tests assert on. The
+//! telecom experiments share a [`crate::telecom_study::TelecomStudy`]
+//! built once by the caller.
+
+pub mod ablation;
+pub mod fig1;
+pub mod finetune;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod timing;

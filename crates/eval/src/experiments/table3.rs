@@ -1,0 +1,92 @@
+//! Table 3: KDN dataset splits.
+//!
+//! "Table 3 details the number of samples for training, validation, and
+//! testing for each VNF dataset" (§4.1.1). With the synthetic generator
+//! the sizes are exact by construction; this experiment prints them and
+//! verifies the generated datasets agree.
+
+use env2vec_datagen::kdn::{KdnDataset, Vnf};
+use env2vec_linalg::Result;
+
+use crate::options::EvalOptions;
+use crate::render::TextTable;
+
+/// Structured Table 3 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitRow {
+    /// Which VNF.
+    pub vnf: Vnf,
+    /// Total samples.
+    pub total: usize,
+    /// Training samples.
+    pub train: usize,
+    /// Validation samples.
+    pub val: usize,
+    /// Test samples.
+    pub test: usize,
+}
+
+/// Computes the split rows from freshly generated datasets.
+pub fn compute(opts: &EvalOptions) -> Vec<SplitRow> {
+    Vnf::ALL
+        .iter()
+        .map(|&vnf| {
+            let ds = KdnDataset::generate(vnf, opts.seed);
+            SplitRow {
+                vnf,
+                total: ds.len(),
+                train: ds.n_train,
+                val: ds.n_val,
+                test: ds.n_test,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+pub fn run(opts: &EvalOptions) -> Result<String> {
+    let rows = compute(opts);
+    let mut t = TextTable::new(&["# of examples", "Snort", "Switch", "Firewall"]);
+    let get = |v: Vnf| rows.iter().find(|r| r.vnf == v).expect("all generated");
+    let line = |name: &str, f: &dyn Fn(&SplitRow) -> usize| {
+        vec![
+            name.to_string(),
+            f(get(Vnf::Snort)).to_string(),
+            f(get(Vnf::Switch)).to_string(),
+            f(get(Vnf::Firewall)).to_string(),
+        ]
+    };
+    t.row(&line("Total", &|r| r.total));
+    t.row(&line("Training", &|r| r.train));
+    t.row(&line("Validation", &|r| r.val));
+    t.row(&line("Test", &|r| r.test));
+    Ok(format!("Table 3. KDN datasets split.\n\n{}", t.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_match_paper_table3() {
+        let rows = compute(&EvalOptions::fast());
+        let snort = rows.iter().find(|r| r.vnf == Vnf::Snort).unwrap();
+        assert_eq!(
+            (snort.total, snort.train, snort.val, snort.test),
+            (1359, 900, 259, 200)
+        );
+        let fw = rows.iter().find(|r| r.vnf == Vnf::Firewall).unwrap();
+        assert_eq!((fw.total, fw.train, fw.val, fw.test), (755, 555, 100, 100));
+        let sw = rows.iter().find(|r| r.vnf == Vnf::Switch).unwrap();
+        assert_eq!((sw.total, sw.train, sw.val, sw.test), (1191, 900, 141, 150));
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let out = run(&EvalOptions::fast()).unwrap();
+        assert!(out.contains("Total"));
+        assert!(out.contains("1359"));
+        assert!(out.contains("755"));
+        assert!(out.contains("1191"));
+    }
+}

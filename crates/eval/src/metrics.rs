@@ -1,0 +1,108 @@
+//! Scoring helpers shared by the experiments.
+
+use env2vec_linalg::{Error, Result};
+
+/// Mean absolute error.
+///
+/// Returns an error on mismatched or empty input.
+pub fn mae(pred: &[f64], actual: &[f64]) -> Result<f64> {
+    check(pred, actual)?;
+    Ok(pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
+}
+
+/// Mean squared error.
+///
+/// Returns an error on mismatched or empty input.
+pub fn mse(pred: &[f64], actual: &[f64]) -> Result<f64> {
+    check(pred, actual)?;
+    Ok(pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64)
+}
+
+fn check(pred: &[f64], actual: &[f64]) -> Result<()> {
+    if pred.len() != actual.len() {
+        return Err(Error::ShapeMismatch {
+            op: "metric",
+            lhs: (pred.len(), 1),
+            rhs: (actual.len(), 1),
+        });
+    }
+    if pred.is_empty() {
+        return Err(Error::Empty { routine: "metric" });
+    }
+    Ok(())
+}
+
+/// Mean ± standard deviation over repeated runs, formatted as the paper's
+/// Table 4 entries (`4.61 ± 0.12`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Standard deviation over runs (0 for a single run).
+    pub std: f64,
+}
+
+impl RunStats {
+    /// Aggregates a set of per-run scores.
+    ///
+    /// Returns an error for empty input.
+    pub fn of(scores: &[f64]) -> Result<Self> {
+        if scores.is_empty() {
+            return Err(Error::Empty {
+                routine: "RunStats",
+            });
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
+        Ok(RunStats {
+            mean,
+            std: var.sqrt(),
+        })
+    }
+
+    /// Renders as `mean ± std` (or just the mean for deterministic
+    /// methods).
+    pub fn render(&self) -> String {
+        if self.std == 0.0 {
+            format!("{:.2}", self.mean)
+        } else {
+            format!("{:.2} ± {:.2}", self.mean, self.std)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_mse_reference() {
+        let p = [1.0, 2.0];
+        let a = [2.0, 4.0];
+        assert_eq!(mae(&p, &a).unwrap(), 1.5);
+        assert_eq!(mse(&p, &a).unwrap(), 2.5);
+        assert!(mae(&p, &a[..1]).is_err());
+        assert!(mse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn run_stats_aggregation_and_render() {
+        let s = RunStats::of(&[1.0, 3.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.render(), "2.00 ± 1.00");
+        let single = RunStats::of(&[4.61]).unwrap();
+        assert_eq!(single.render(), "4.61");
+        assert!(RunStats::of(&[]).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Run-size options shared by all experiments.
+
+/// Controls how much work each experiment does.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Reduced datasets, coarse hyper-parameter grids, few repeats —
+    /// minutes instead of hours.
+    pub fast: bool,
+    /// Repeats for neural methods (the paper averages 10 runs).
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EvalOptions {
+    /// The quick preset used by tests and `repro --fast`.
+    pub fn fast() -> Self {
+        EvalOptions {
+            fast: true,
+            runs: 2,
+            seed: 2020,
+        }
+    }
+
+    /// The default harness preset: full chain counts, moderate sizes.
+    pub fn standard() -> Self {
+        EvalOptions {
+            fast: false,
+            runs: 3,
+            seed: 2020,
+        }
+    }
+
+    /// Paper-scale averaging (10 runs for neural methods).
+    pub fn full() -> Self {
+        EvalOptions {
+            fast: false,
+            runs: 10,
+            seed: 2020,
+        }
+    }
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_effort() {
+        assert!(EvalOptions::fast().runs <= EvalOptions::standard().runs);
+        assert!(EvalOptions::standard().runs <= EvalOptions::full().runs);
+        assert!(EvalOptions::fast().fast);
+        assert!(!EvalOptions::full().fast);
+        assert_eq!(EvalOptions::default().runs, EvalOptions::standard().runs);
+    }
+}

@@ -1,0 +1,257 @@
+//! Plain-text rendering: tables, CDF plots, heatmaps.
+//!
+//! The `repro` harness prints every reproduced table and figure to the
+//! terminal; these helpers keep the output aligned and readable without
+//! any plotting dependency.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut cells = cells.to_vec();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[c];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an empirical CDF as an ASCII plot with a log-scaled x axis —
+/// the shape of the paper's Figure 4.
+///
+/// `series` maps a label to its sorted sample values. Width/height are in
+/// characters.
+pub fn render_log_cdf(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| *v > 0.0)
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (lmin, lmax) = (min.ln(), (max * 1.0001).ln());
+    let glyphs = ['E', 'R', 't', 'a', 'f', 'x', 'o', '+'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        let n = values.len() as f64;
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite MAE"));
+        for (i, &v) in sorted.iter().enumerate() {
+            if v <= 0.0 {
+                continue;
+            }
+            let x = (((v.ln() - lmin) / (lmax - lmin)) * (width - 1) as f64).round() as usize;
+            let frac = (i + 1) as f64 / n;
+            let y = height - 1 - ((frac * (height - 1) as f64).round() as usize);
+            grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (row_idx, row) in grid.iter().enumerate() {
+        let frac = 1.0 - row_idx as f64 / (height - 1) as f64;
+        out.push_str(&format!("{frac:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     +{}\n      {:<10.3}{:>width$.3} (MAE, log scale)\n",
+        "-".repeat(width),
+        min,
+        max,
+        width = width - 10
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} = {name}", glyphs[i % glyphs.len()]))
+        .collect();
+    out.push_str(&format!("      legend: {}\n", legend.join(", ")));
+    out
+}
+
+/// Renders a row of boxplots as ASCII — the shape of the paper's
+/// Figure 1 (bottom), one five-number summary per build chain.
+///
+/// Each summary becomes one character column: whiskers `|`, box `#`,
+/// median `=`. Summaries whose maximum exceeds `flag_above` are drawn
+/// with `!` whiskers (the paper highlights those boxes in red). Values
+/// are mapped onto `height` rows spanning `[0, max]` over all summaries.
+pub fn render_boxplot_row(
+    summaries: &[env2vec_linalg::stats::BoxplotSummary],
+    height: usize,
+    flag_above: f64,
+) -> String {
+    if summaries.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let max = summaries.iter().fold(0.0f64, |m, b| m.max(b.max)).max(1e-9);
+    let level = |v: f64| -> usize {
+        (((v / max) * (height - 1) as f64).round() as usize).min(height - 1)
+    };
+    let mut grid = vec![vec![' '; summaries.len()]; height];
+    for (col, b) in summaries.iter().enumerate() {
+        let flagged = b.max > flag_above;
+        let whisker = if flagged { '!' } else { '|' };
+        for row in &mut grid[level(b.min)..=level(b.max)] {
+            row[col] = whisker;
+        }
+        for row in &mut grid[level(b.q1)..=level(b.q3)] {
+            row[col] = '#';
+        }
+        grid[level(b.median)][col] = '=';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate().rev() {
+        let value = max * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{value:6.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "       +{}\n        (one box per chain; = median, # IQR, ! = max above {flag_above})\n",
+        "-".repeat(summaries.len())
+    ));
+    out
+}
+
+/// Renders a matrix as an ASCII heatmap using density glyphs, normalised
+/// per-matrix — the shape of the paper's Figure 1 (top).
+pub fn render_heatmap(values: &[Vec<f64>], row_labels: &[String]) -> String {
+    const SHADES: [char; 6] = [' ', '.', ':', '+', '#', '@'];
+    let max = values
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let label_w = row_labels.iter().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (row, label) in values.iter().zip(row_labels) {
+        out.push_str(&format!("{label:<label_w$} |"));
+        for &v in row {
+            let idx = if max == 0.0 {
+                0
+            } else {
+                (((v.abs() / max).powf(0.5)) * (SHADES.len() - 1) as f64).round() as usize
+            };
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = TextTable::new(&["Method", "MAE", "MSE"]);
+        t.row_str(&["Ridge", "5.72", "49.83"]);
+        t.row_str(&["Env2Vec"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("5.72"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn cdf_renders_monotone_output() {
+        let series = vec![
+            ("Env2Vec".to_string(), vec![0.5, 1.0, 2.0, 4.0]),
+            ("Ridge".to_string(), vec![1.0, 3.0, 9.0, 30.0]),
+        ];
+        let plot = render_log_cdf(&series, 40, 10);
+        assert!(plot.contains("legend"));
+        assert!(plot.contains("Env2Vec"));
+        assert!(plot.lines().count() > 10);
+        // Empty input does not panic.
+        assert_eq!(render_log_cdf(&[], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn boxplot_row_marks_flagged_chains() {
+        use env2vec_linalg::stats::BoxplotSummary;
+        let quiet = BoxplotSummary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let loud = BoxplotSummary::of(&[2.0, 5.0, 9.0, 15.0]).unwrap();
+        let out = render_boxplot_row(&[quiet, loud], 12, 10.0);
+        assert!(out.contains('='), "median marker present");
+        assert!(out.contains('!'), "flagged whisker present");
+        assert!(out.contains('#'), "IQR box present");
+        assert_eq!(render_boxplot_row(&[], 5, 10.0), "(no data)\n");
+    }
+
+    #[test]
+    fn heatmap_uses_denser_glyphs_for_larger_values() {
+        let rows = vec![vec![0.0, 0.1, 1.0]];
+        let labels = vec!["cf_demand".to_string()];
+        let map = render_heatmap(&rows, &labels);
+        assert!(map.starts_with("cf_demand |"));
+        let cells: Vec<char> = map.trim_end().chars().rev().take(3).collect();
+        // Last cell (1.0) must be the densest glyph.
+        assert_eq!(cells[0], '@');
+        assert_eq!(cells[2], ' ');
+    }
+}

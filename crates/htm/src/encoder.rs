@@ -1,0 +1,116 @@
+//! Scalar-to-SDR encoder.
+//!
+//! The classic HTM scalar encoder: the value range is divided into
+//! buckets, and a value activates a contiguous run of `w` bits starting at
+//! its bucket, so nearby values share active bits in proportion to their
+//! closeness. Out-of-range values clip to the ends.
+
+use crate::sdr::Sdr;
+
+/// Encodes scalars in `[min, max]` into `size`-bit SDRs with `w` active
+/// bits.
+#[derive(Debug, Clone)]
+pub struct ScalarEncoder {
+    min: f64,
+    max: f64,
+    size: usize,
+    w: usize,
+}
+
+impl ScalarEncoder {
+    /// Creates an encoder over the closed range `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min >= max`, `w == 0`, or `w > size`.
+    pub fn new(min: f64, max: f64, size: usize, w: usize) -> Self {
+        assert!(min < max, "encoder range must be non-empty");
+        assert!(w > 0 && w <= size, "active width must be in 1..=size");
+        ScalarEncoder { min, max, size, w }
+    }
+
+    /// Output SDR width.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of active bits per encoding.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Encodes a value (clipping to the range).
+    pub fn encode(&self, value: f64) -> Sdr {
+        let clipped = value.clamp(self.min, self.max);
+        let buckets = self.size - self.w;
+        let frac = (clipped - self.min) / (self.max - self.min);
+        let start = (frac * buckets as f64).round() as usize;
+        Sdr::new(self.size, (start..start + self.w).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> ScalarEncoder {
+        ScalarEncoder::new(0.0, 100.0, 128, 16)
+    }
+
+    #[test]
+    fn fixed_cardinality() {
+        let e = encoder();
+        for v in [0.0, 13.7, 50.0, 99.9, 100.0] {
+            assert_eq!(e.encode(v).cardinality(), 16);
+        }
+    }
+
+    #[test]
+    fn nearby_values_overlap_distant_do_not() {
+        let e = encoder();
+        let a = e.encode(50.0);
+        let b = e.encode(51.0);
+        let c = e.encode(90.0);
+        assert!(a.overlap(&b) > 10, "near values share bits");
+        assert_eq!(a.overlap(&c), 0, "far values share none");
+    }
+
+    #[test]
+    fn overlap_decreases_monotonically_with_distance() {
+        let e = encoder();
+        let base = e.encode(40.0);
+        let mut last = usize::MAX;
+        for delta in [0.0, 2.0, 4.0, 8.0, 16.0] {
+            let ov = base.overlap(&e.encode(40.0 + delta));
+            assert!(ov <= last);
+            last = ov;
+        }
+    }
+
+    #[test]
+    fn clipping_at_range_ends() {
+        let e = encoder();
+        assert_eq!(e.encode(-50.0), e.encode(0.0));
+        assert_eq!(e.encode(150.0), e.encode(100.0));
+        // Extremes stay within the SDR width.
+        assert!(e.encode(100.0).active().iter().all(|&b| b < 128));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = encoder();
+        assert_eq!(e.encode(42.0), e.encode(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn rejects_inverted_range() {
+        let _ = ScalarEncoder::new(10.0, 0.0, 64, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "active width")]
+    fn rejects_zero_width() {
+        let _ = ScalarEncoder::new(0.0, 1.0, 64, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Hierarchical Temporal Memory anomaly detection — the `HTM-AD` baseline.
+//!
+//! The paper compares Env2Vec against "HTM-AD \[1\]", the unsupervised
+//! streaming anomaly detector of Ahmad, Lavin, Purdy & Agha
+//! (*Unsupervised real-time anomaly detection for streaming data*,
+//! Neurocomputing 2017). HTM-AD "does not consider any contextual
+//! features. Rather, it only uses the target resource consumption (in this
+//! case CPU) as input" (§4.2.2). No Rust implementation of HTM exists, so
+//! this crate provides one following the published algorithm:
+//!
+//! - [`sdr`]: sparse distributed representations (sorted active-bit sets).
+//! - [`encoder`]: a scalar encoder mapping a CPU reading to an SDR.
+//! - [`spatial_pooler`]: permanence-learning columns with global top-k
+//!   inhibition.
+//! - [`temporal_memory`]: per-column cells, distal segments, bursting and
+//!   winner-cell learning; its prediction error is the raw anomaly score
+//!   (the fraction of active columns that were not predicted).
+//! - [`likelihood`]: the rolling-Gaussian anomaly likelihood of the NAB
+//!   reference implementation.
+//! - [`anomaly`]: [`anomaly::HtmAnomalyDetector`], the end-to-end pipeline
+//!   the evaluation harness feeds one reading at a time.
+//!
+//! The paper alarms "only ... when the anomaly score is equal to 1"; the
+//! detector exposes both the raw score and the likelihood so the harness
+//! can apply exactly that rule.
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod encoder;
+pub mod likelihood;
+pub mod sdr;
+pub mod spatial_pooler;
+pub mod temporal_memory;
+
+pub use anomaly::{HtmAnomalyDetector, HtmConfig};

@@ -1,0 +1,176 @@
+//! Anomaly likelihood over raw anomaly scores.
+//!
+//! Raw temporal-memory scores are noisy; Ahmad et al. 2017 smooth them by
+//! modelling the recent history of scores as a Gaussian and reporting the
+//! tail probability of the short-term average — values near `1.0` mean
+//! "the current prediction error is extremely unusual for this stream".
+
+use std::collections::VecDeque;
+
+/// Rolling-Gaussian anomaly likelihood (NAB reference behaviour).
+#[derive(Debug, Clone)]
+pub struct AnomalyLikelihood {
+    window: VecDeque<f64>,
+    window_len: usize,
+    short_len: usize,
+    /// Number of scores to observe before emitting informative output.
+    learning_period: usize,
+    seen: usize,
+}
+
+impl AnomalyLikelihood {
+    /// Creates a likelihood estimator.
+    ///
+    /// `window_len` is the long-term history modelled as a Gaussian,
+    /// `short_len` the short-term average that is scored against it,
+    /// `learning_period` the warm-up during which `0.5` is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `short_len` is zero or exceeds `window_len`.
+    pub fn new(window_len: usize, short_len: usize, learning_period: usize) -> Self {
+        assert!(
+            short_len > 0 && short_len <= window_len,
+            "short_len must be in 1..=window_len"
+        );
+        AnomalyLikelihood {
+            window: VecDeque::with_capacity(window_len),
+            window_len,
+            short_len,
+            learning_period,
+            seen: 0,
+        }
+    }
+
+    /// Default NAB-like sizing for 15-minute telemetry.
+    pub fn default_sizing() -> Self {
+        AnomalyLikelihood::new(200, 10, 50)
+    }
+
+    /// Consumes one raw anomaly score, returning the likelihood in
+    /// `[0, 1]`.
+    pub fn update(&mut self, raw_score: f64) -> f64 {
+        let raw_score = raw_score.clamp(0.0, 1.0);
+        if self.window.len() == self.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(raw_score);
+        self.seen += 1;
+        if self.seen < self.learning_period || self.window.len() < self.short_len + 1 {
+            return 0.5;
+        }
+        let n = self.window.len() as f64;
+        let mean: f64 = self.window.iter().sum::<f64>() / n;
+        let var: f64 = self
+            .window
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        // Floor the deviation so constant histories do not divide by zero.
+        let std = var.sqrt().max(1e-6);
+        let short_mean: f64 =
+            self.window.iter().rev().take(self.short_len).sum::<f64>() / self.short_len as f64;
+        let z = (short_mean - mean) / std;
+        // Likelihood = 1 - Q(z): probability mass below the short-term
+        // average under the long-term Gaussian.
+        normal_cdf(z)
+    }
+
+    /// Number of scores consumed.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+}
+
+/// Standard normal CDF via `erf`.
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error-function approximation (Abramowitz & Stegun 7.1.26).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_up_reports_half() {
+        let mut al = AnomalyLikelihood::new(50, 5, 20);
+        for _ in 0..10 {
+            assert_eq!(al.update(0.3), 0.5);
+        }
+    }
+
+    #[test]
+    fn spike_after_quiet_history_is_high_likelihood() {
+        let mut al = AnomalyLikelihood::new(100, 5, 30);
+        for _ in 0..80 {
+            al.update(0.05);
+        }
+        let mut last = 0.0;
+        for _ in 0..5 {
+            last = al.update(1.0);
+        }
+        assert!(last > 0.99, "likelihood after spike {last}");
+    }
+
+    #[test]
+    fn noisy_history_dampens_likelihood() {
+        // Same spike, but the history is already noisy: less surprising.
+        let mut quiet = AnomalyLikelihood::new(100, 5, 30);
+        let mut noisy = AnomalyLikelihood::new(100, 5, 30);
+        for i in 0..80 {
+            quiet.update(0.05);
+            noisy.update(if i % 2 == 0 { 0.0 } else { 0.9 });
+        }
+        let mut q = 0.0;
+        let mut nz = 0.0;
+        for _ in 0..3 {
+            q = quiet.update(1.0);
+            nz = noisy.update(1.0);
+        }
+        assert!(q > nz, "quiet {q} should exceed noisy {nz}");
+    }
+
+    #[test]
+    fn low_scores_after_high_history_is_low_likelihood() {
+        let mut al = AnomalyLikelihood::new(100, 5, 30);
+        for _ in 0..80 {
+            al.update(0.8);
+        }
+        let mut last = 1.0;
+        for _ in 0..5 {
+            last = al.update(0.0);
+        }
+        assert!(last < 0.01, "likelihood {last}");
+    }
+
+    #[test]
+    fn output_always_in_unit_interval() {
+        let mut al = AnomalyLikelihood::default_sizing();
+        for i in 0..500 {
+            let raw = ((i * 37) % 100) as f64 / 100.0;
+            let l = al.update(raw);
+            assert!((0.0..=1.0).contains(&l), "likelihood {l}");
+        }
+        assert_eq!(al.seen(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "short_len")]
+    fn rejects_bad_short_len() {
+        let _ = AnomalyLikelihood::new(10, 0, 5);
+    }
+}

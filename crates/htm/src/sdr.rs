@@ -1,0 +1,116 @@
+//! Sparse distributed representations.
+//!
+//! An [`Sdr`] is a fixed-width binary vector with few active bits, stored
+//! as a sorted list of active indices. Overlap (shared active bits) is the
+//! similarity measure every HTM stage is built on.
+
+/// A sparse binary vector of fixed width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sdr {
+    size: usize,
+    /// Sorted, deduplicated active-bit indices.
+    active: Vec<usize>,
+}
+
+impl Sdr {
+    /// Creates an SDR of `size` bits from the given active indices.
+    ///
+    /// Indices are sorted and deduplicated; out-of-range indices are
+    /// discarded.
+    pub fn new(size: usize, mut active: Vec<usize>) -> Self {
+        active.retain(|&i| i < size);
+        active.sort_unstable();
+        active.dedup();
+        Sdr { size, active }
+    }
+
+    /// An SDR with no active bits.
+    pub fn empty(size: usize) -> Self {
+        Sdr {
+            size,
+            active: Vec::new(),
+        }
+    }
+
+    /// Total width in bits.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sorted active-bit indices.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Number of active bits.
+    pub fn cardinality(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether a bit is active.
+    pub fn contains(&self, bit: usize) -> bool {
+        self.active.binary_search(&bit).is_ok()
+    }
+
+    /// Number of active bits shared with another SDR.
+    pub fn overlap(&self, other: &Sdr) -> usize {
+        let mut count = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.active.len() && j < other.active.len() {
+            match self.active[i].cmp(&other.active[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Fraction of this SDR's active bits shared with `other`
+    /// (`1.0` for identical patterns, `0.0` for disjoint or empty).
+    pub fn overlap_fraction(&self, other: &Sdr) -> f64 {
+        if self.active.is_empty() {
+            return 0.0;
+        }
+        self.overlap(other) as f64 / self.active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_dedups_and_clips() {
+        let s = Sdr::new(10, vec![5, 2, 5, 11, 0]);
+        assert_eq!(s.active(), &[0, 2, 5]);
+        assert_eq!(s.cardinality(), 3);
+        assert_eq!(s.size(), 10);
+    }
+
+    #[test]
+    fn contains_and_overlap() {
+        let a = Sdr::new(16, vec![1, 3, 5, 7]);
+        let b = Sdr::new(16, vec![3, 4, 5, 6]);
+        assert!(a.contains(3));
+        assert!(!a.contains(4));
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(a.overlap_fraction(&b), 0.5);
+    }
+
+    #[test]
+    fn identical_and_disjoint_overlap() {
+        let a = Sdr::new(8, vec![0, 1, 2]);
+        assert_eq!(a.overlap(&a), 3);
+        assert_eq!(a.overlap_fraction(&a), 1.0);
+        let b = Sdr::new(8, vec![5, 6]);
+        assert_eq!(a.overlap(&b), 0);
+        let empty = Sdr::empty(8);
+        assert_eq!(empty.overlap_fraction(&a), 0.0);
+        assert_eq!(empty.cardinality(), 0);
+    }
+}

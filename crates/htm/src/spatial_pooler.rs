@@ -1,0 +1,356 @@
+//! Spatial pooler: input SDR → column SDR with online permanence learning.
+//!
+//! Each column holds a pool of potential synapses onto the input space,
+//! each with a permanence in `[0, 1]`; a synapse is *connected* when its
+//! permanence crosses a threshold. A column's overlap is its count of
+//! connected synapses onto active input bits; the top `num_active` columns
+//! win (global inhibition). Learning nudges the winning columns'
+//! permanences toward the current input, so frequently co-occurring input
+//! bits end up reliably mapped to stable columns.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::sdr::Sdr;
+
+/// Spatial-pooler parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SpatialPoolerConfig {
+    /// Number of columns.
+    pub num_columns: usize,
+    /// Number of winning columns per input (output SDR cardinality).
+    pub num_active: usize,
+    /// Fraction of the input space each column can potentially connect to.
+    pub potential_fraction: f64,
+    /// Permanence at or above which a synapse is connected.
+    pub connected_threshold: f64,
+    /// Permanence increment for synapses onto active input bits.
+    pub permanence_increment: f64,
+    /// Permanence decrement for synapses onto inactive input bits.
+    pub permanence_decrement: f64,
+    /// Minimum overlap for a column to compete.
+    pub stimulus_threshold: usize,
+    /// Boosting strength: under-used columns get their overlap multiplied
+    /// by `exp(boost_strength * (target_density - duty_cycle))` so every
+    /// column eventually participates (Numenta's homeostatic boosting).
+    /// `0.0` disables boosting.
+    pub boost_strength: f64,
+    /// Exponential smoothing period for the per-column active duty cycle.
+    pub duty_cycle_period: u32,
+    /// RNG seed for potential-pool wiring and initial permanences.
+    pub seed: u64,
+}
+
+impl Default for SpatialPoolerConfig {
+    fn default() -> Self {
+        SpatialPoolerConfig {
+            num_columns: 256,
+            num_active: 10,
+            potential_fraction: 0.5,
+            connected_threshold: 0.5,
+            permanence_increment: 0.05,
+            permanence_decrement: 0.008,
+            stimulus_threshold: 1,
+            boost_strength: 0.0,
+            duty_cycle_period: 1000,
+            seed: 0,
+        }
+    }
+}
+
+/// One column's potential synapses.
+#[derive(Debug, Clone)]
+struct Column {
+    /// Input bits this column can see.
+    inputs: Vec<usize>,
+    /// Permanence per potential synapse, parallel to `inputs`.
+    permanences: Vec<f64>,
+}
+
+/// A spatial pooler over a fixed-width input space.
+#[derive(Debug, Clone)]
+pub struct SpatialPooler {
+    config: SpatialPoolerConfig,
+    input_size: usize,
+    columns: Vec<Column>,
+    /// Smoothed per-column active duty cycle (fraction of recent steps the
+    /// column won), driving homeostatic boosting.
+    duty_cycles: Vec<f64>,
+}
+
+impl SpatialPooler {
+    /// Creates a pooler for `input_size`-bit SDRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_active` is zero or exceeds `num_columns`, or when
+    /// the potential fraction is outside `(0, 1]`.
+    pub fn new(input_size: usize, config: SpatialPoolerConfig) -> Self {
+        assert!(
+            config.num_active > 0 && config.num_active <= config.num_columns,
+            "num_active must be in 1..=num_columns"
+        );
+        assert!(
+            config.potential_fraction > 0.0 && config.potential_fraction <= 1.0,
+            "potential_fraction must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pool_size = ((input_size as f64 * config.potential_fraction) as usize).max(1);
+        let columns = (0..config.num_columns)
+            .map(|_| {
+                let mut all: Vec<usize> = (0..input_size).collect();
+                all.shuffle(&mut rng);
+                all.truncate(pool_size);
+                let permanences = (0..pool_size)
+                    // Initial permanences straddle the connected threshold.
+                    .map(|_| config.connected_threshold + rng.gen_range(-0.1..0.1))
+                    .collect();
+                Column {
+                    inputs: all,
+                    permanences,
+                }
+            })
+            .collect();
+        let n = config.num_columns;
+        SpatialPooler {
+            config,
+            input_size,
+            columns,
+            duty_cycles: vec![0.0; n],
+        }
+    }
+
+    /// The smoothed fraction of recent steps each column was active.
+    pub fn duty_cycles(&self) -> &[f64] {
+        &self.duty_cycles
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Computes the active columns for `input`, learning if requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input width differs from construction.
+    pub fn compute(&mut self, input: &Sdr, learn: bool) -> Sdr {
+        assert_eq!(input.size(), self.input_size, "input width mismatch");
+        let raw_overlaps: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|col| {
+                col.inputs
+                    .iter()
+                    .zip(&col.permanences)
+                    .filter(|(&bit, &perm)| {
+                        perm >= self.config.connected_threshold && input.contains(bit)
+                    })
+                    .count()
+            })
+            .collect();
+
+        // Homeostatic boosting: over-used columns are handicapped,
+        // under-used ones amplified, relative to the target density.
+        let target = self.config.num_active as f64 / self.columns.len() as f64;
+        let boosted: Vec<f64> = raw_overlaps
+            .iter()
+            .enumerate()
+            .map(|(c, &o)| {
+                if self.config.boost_strength > 0.0 {
+                    let boost = (self.config.boost_strength
+                        * (target - self.duty_cycles[c]))
+                        .exp();
+                    o as f64 * boost
+                } else {
+                    o as f64
+                }
+            })
+            .collect();
+
+        // Global inhibition: top-k columns by (boosted) overlap, ties by
+        // index.
+        let mut order: Vec<usize> = (0..self.columns.len())
+            .filter(|&c| raw_overlaps[c] >= self.config.stimulus_threshold)
+            .collect();
+        order.sort_by(|&a, &b| {
+            boosted[b]
+                .partial_cmp(&boosted[a])
+                .expect("finite overlaps")
+                .then(a.cmp(&b))
+        });
+        order.truncate(self.config.num_active);
+
+        // Duty-cycle update (learning mode only, like the reference).
+        if learn {
+            let alpha = 1.0 / self.config.duty_cycle_period.max(1) as f64;
+            for (c, duty) in self.duty_cycles.iter_mut().enumerate() {
+                let active = order.contains(&c) as u8 as f64;
+                *duty += alpha * (active - *duty);
+            }
+        }
+
+        if learn {
+            for &c in &order {
+                let col = &mut self.columns[c];
+                for (bit, perm) in col.inputs.iter().zip(col.permanences.iter_mut()) {
+                    if input.contains(*bit) {
+                        *perm = (*perm + self.config.permanence_increment).min(1.0);
+                    } else {
+                        *perm = (*perm - self.config.permanence_decrement).max(0.0);
+                    }
+                }
+            }
+        }
+        Sdr::new(self.columns.len(), order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::ScalarEncoder;
+
+    fn setup() -> (ScalarEncoder, SpatialPooler) {
+        let enc = ScalarEncoder::new(0.0, 100.0, 128, 16);
+        let sp = SpatialPooler::new(128, SpatialPoolerConfig::default());
+        (enc, sp)
+    }
+
+    #[test]
+    fn output_cardinality_bounded_by_num_active() {
+        let (enc, mut sp) = setup();
+        let out = sp.compute(&enc.encode(50.0), false);
+        assert!(out.cardinality() <= 10);
+        assert!(out.cardinality() > 0);
+        assert_eq!(out.size(), 256);
+    }
+
+    #[test]
+    fn same_input_same_columns() {
+        let (enc, mut sp) = setup();
+        let a = sp.compute(&enc.encode(30.0), false);
+        let b = sp.compute(&enc.encode(30.0), false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn similar_inputs_share_columns_more_than_distant() {
+        let (enc, mut sp) = setup();
+        // Train on the low range so the mapping stabilises.
+        for _ in 0..50 {
+            for v in [20.0, 25.0, 80.0] {
+                sp.compute(&enc.encode(v), true);
+            }
+        }
+        let near_a = sp.compute(&enc.encode(20.0), false);
+        let near_b = sp.compute(&enc.encode(22.0), false);
+        let far = sp.compute(&enc.encode(80.0), false);
+        assert!(near_a.overlap(&near_b) > near_a.overlap(&far));
+    }
+
+    #[test]
+    fn learning_increases_stability() {
+        let (enc, mut sp) = setup();
+        let before = sp.compute(&enc.encode(60.0), false);
+        for _ in 0..100 {
+            sp.compute(&enc.encode(60.0), true);
+        }
+        let after_training = sp.compute(&enc.encode(60.0), false);
+        // After training, repeated presentations keep the same columns.
+        let again = sp.compute(&enc.encode(60.0), false);
+        assert_eq!(after_training, again);
+        // Sanity: representation exists both before and after.
+        assert!(before.cardinality() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let enc = ScalarEncoder::new(0.0, 1.0, 64, 8);
+        let mut a = SpatialPooler::new(64, SpatialPoolerConfig::default());
+        let mut b = SpatialPooler::new(64, SpatialPoolerConfig::default());
+        assert_eq!(
+            a.compute(&enc.encode(0.5), false),
+            b.compute(&enc.encode(0.5), false)
+        );
+    }
+
+    #[test]
+    fn boosting_spreads_column_usage() {
+        // Feed a narrow input distribution; with boosting, more distinct
+        // columns end up participating than without.
+        let enc = ScalarEncoder::new(0.0, 100.0, 128, 16);
+        let run = |boost: f64| -> usize {
+            let mut sp = SpatialPooler::new(
+                128,
+                SpatialPoolerConfig {
+                    boost_strength: boost,
+                    duty_cycle_period: 50,
+                    ..SpatialPoolerConfig::default()
+                },
+            );
+            let mut used = std::collections::HashSet::new();
+            for i in 0..400 {
+                let v = 40.0 + (i % 5) as f64; // five nearby values only
+                let out = sp.compute(&enc.encode(v), true);
+                used.extend(out.active().iter().copied());
+            }
+            used.len()
+        };
+        let without = run(0.0);
+        let with = run(3.0);
+        assert!(
+            with > without,
+            "boosting should recruit more columns: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn duty_cycles_track_activity() {
+        let enc = ScalarEncoder::new(0.0, 100.0, 128, 16);
+        let mut sp = SpatialPooler::new(
+            128,
+            SpatialPoolerConfig {
+                boost_strength: 1.0,
+                duty_cycle_period: 10,
+                ..SpatialPoolerConfig::default()
+            },
+        );
+        for _ in 0..100 {
+            sp.compute(&enc.encode(50.0), true);
+        }
+        // Boosting rotates winners, so individual duties vary; but the
+        // current winners' mean duty must exceed the non-winners' mean,
+        // and every duty stays a valid fraction.
+        let winners = sp.compute(&enc.encode(50.0), false);
+        let (mut win, mut lose) = ((0.0, 0usize), (0.0, 0usize));
+        for c in 0..sp.num_columns() {
+            let duty = sp.duty_cycles()[c];
+            assert!((0.0..=1.0).contains(&duty));
+            if winners.contains(c) {
+                win = (win.0 + duty, win.1 + 1);
+            } else {
+                lose = (lose.0 + duty, lose.1 + 1);
+            }
+        }
+        let win_mean = win.0 / win.1.max(1) as f64;
+        let lose_mean = lose.0 / lose.1.max(1) as f64;
+        assert!(
+            win_mean > lose_mean,
+            "winner mean duty {win_mean} vs others {lose_mean}"
+        );
+        // Inference mode must not move duty cycles.
+        let before = sp.duty_cycles().to_vec();
+        sp.compute(&enc.encode(50.0), false);
+        assert_eq!(sp.duty_cycles(), &before[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_input_width() {
+        let (_, mut sp) = setup();
+        sp.compute(&Sdr::empty(64), false);
+    }
+}

@@ -1,0 +1,441 @@
+//! Temporal memory: sequence learning over column SDRs.
+//!
+//! Each column contains `cells_per_column` cells; distal segments on cells
+//! learn to recognise the previously-active cell set, so a cell becomes
+//! *predictive* when its context has been seen before. When an active
+//! column contains predicted cells, only those fire; an unpredicted column
+//! *bursts* (all cells fire) and grows a new segment on a winner cell.
+//! The per-timestep **raw anomaly score** is the fraction of active
+//! columns that nobody predicted — exactly the score HTM-AD thresholds.
+
+use crate::sdr::Sdr;
+
+/// Temporal-memory parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalMemoryConfig {
+    /// Cells per column.
+    pub cells_per_column: usize,
+    /// Connected synapses onto active cells needed to activate a segment.
+    pub activation_threshold: usize,
+    /// Potential synapses onto active cells needed for a "matching"
+    /// segment (learning candidate during bursts).
+    pub min_threshold: usize,
+    /// Permanence at or above which a synapse is connected.
+    pub connected_threshold: f64,
+    /// Initial permanence of newly grown synapses.
+    pub initial_permanence: f64,
+    /// Permanence increment on correct prediction.
+    pub permanence_increment: f64,
+    /// Permanence decrement for synapses onto inactive cells.
+    pub permanence_decrement: f64,
+    /// Punishment decrement for segments that predicted a silent column.
+    pub predicted_decrement: f64,
+    /// Maximum new synapses grown per learning step.
+    pub max_new_synapses: usize,
+}
+
+impl Default for TemporalMemoryConfig {
+    fn default() -> Self {
+        TemporalMemoryConfig {
+            cells_per_column: 8,
+            activation_threshold: 6,
+            min_threshold: 4,
+            connected_threshold: 0.5,
+            initial_permanence: 0.21,
+            permanence_increment: 0.1,
+            permanence_decrement: 0.02,
+            predicted_decrement: 0.004,
+            max_new_synapses: 12,
+        }
+    }
+}
+
+/// A distal segment on one cell.
+#[derive(Debug, Clone)]
+struct Segment {
+    cell: usize,
+    /// `(presynaptic cell, permanence)` pairs.
+    synapses: Vec<(usize, f64)>,
+}
+
+/// Result of one temporal-memory step.
+#[derive(Debug, Clone)]
+pub struct TmStep {
+    /// Raw anomaly score: fraction of active columns not predicted.
+    pub anomaly_score: f64,
+    /// Number of active columns that were predicted.
+    pub predicted_columns: usize,
+    /// Number of columns that burst.
+    pub bursting_columns: usize,
+}
+
+/// Sequence memory over a fixed column count.
+#[derive(Debug, Clone)]
+pub struct TemporalMemory {
+    config: TemporalMemoryConfig,
+    num_columns: usize,
+    segments: Vec<Segment>,
+    /// Segment ids per cell.
+    cell_segments: Vec<Vec<usize>>,
+    /// Round-robin counter for least-used-cell selection per column.
+    usage: Vec<u32>,
+    prev_active_cells: Vec<usize>,
+    prev_winner_cells: Vec<usize>,
+    /// Cells predictive for the *next* step, with the segment that did it.
+    predictive: Vec<(usize, usize)>,
+}
+
+impl TemporalMemory {
+    /// Creates a temporal memory over `num_columns` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells_per_column` is zero.
+    pub fn new(num_columns: usize, config: TemporalMemoryConfig) -> Self {
+        assert!(config.cells_per_column > 0, "cells_per_column must be > 0");
+        TemporalMemory {
+            config,
+            num_columns,
+            segments: Vec::new(),
+            cell_segments: vec![Vec::new(); num_columns * config.cells_per_column],
+            usage: vec![0; num_columns * config.cells_per_column],
+            prev_active_cells: Vec::new(),
+            prev_winner_cells: Vec::new(),
+            predictive: Vec::new(),
+        }
+    }
+
+    /// Total number of distal segments grown so far.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Resets sequence state (e.g. between independent time series) while
+    /// keeping learned segments.
+    pub fn reset(&mut self) {
+        self.prev_active_cells.clear();
+        self.prev_winner_cells.clear();
+        self.predictive.clear();
+    }
+
+    /// Processes one step of active columns, learning if requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column SDR width differs from construction.
+    pub fn compute(&mut self, active_columns: &Sdr, learn: bool) -> TmStep {
+        assert_eq!(
+            active_columns.size(),
+            self.num_columns,
+            "column count mismatch"
+        );
+        let m = self.config.cells_per_column;
+        let mut active_cells: Vec<usize> = Vec::new();
+        let mut winner_cells: Vec<usize> = Vec::new();
+        let mut predicted_count = 0usize;
+        let mut bursting = 0usize;
+
+        let predictive_now = self.predictive.clone();
+        for &col in active_columns.active() {
+            let col_pred: Vec<(usize, usize)> = predictive_now
+                .iter()
+                .copied()
+                .filter(|&(cell, _)| cell / m == col)
+                .collect();
+            if !col_pred.is_empty() {
+                predicted_count += 1;
+                for &(cell, seg) in &col_pred {
+                    active_cells.push(cell);
+                    winner_cells.push(cell);
+                    if learn {
+                        self.reinforce(seg);
+                        self.grow(seg);
+                    }
+                }
+            } else {
+                bursting += 1;
+                for cell in col * m..(col + 1) * m {
+                    active_cells.push(cell);
+                }
+                // Winner: best matching segment on any cell in the column,
+                // else the least-used cell.
+                let best = self.best_matching_in_column(col);
+                let (winner, seg) = match best {
+                    Some((cell, seg)) => (cell, Some(seg)),
+                    None => (self.least_used_cell(col), None),
+                };
+                winner_cells.push(winner);
+                self.usage[winner] += 1;
+                if learn {
+                    match seg {
+                        Some(seg) => {
+                            self.reinforce(seg);
+                            self.grow(seg);
+                        }
+                        None => {
+                            if !self.prev_winner_cells.is_empty() {
+                                self.grow_segment(winner);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Punish segments that predicted columns that stayed silent.
+        if learn && self.config.predicted_decrement > 0.0 {
+            for &(cell, seg) in &predictive_now {
+                if !active_columns.contains(cell / m) {
+                    let dec = self.config.predicted_decrement;
+                    for (pre, perm) in &mut self.segments[seg].synapses {
+                        if self.prev_active_cells.binary_search(pre).is_ok() {
+                            *perm = (*perm - dec).max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        let total = active_columns.cardinality();
+        let anomaly_score = if total == 0 {
+            0.0
+        } else {
+            bursting as f64 / total as f64
+        };
+
+        active_cells.sort_unstable();
+        active_cells.dedup();
+        winner_cells.sort_unstable();
+        winner_cells.dedup();
+
+        // Compute cells predictive for the next step.
+        self.predictive = self.compute_predictive(&active_cells);
+        self.prev_active_cells = active_cells;
+        self.prev_winner_cells = winner_cells;
+
+        TmStep {
+            anomaly_score,
+            predicted_columns: predicted_count,
+            bursting_columns: bursting,
+        }
+    }
+
+    /// Reinforces a segment against the previous active cells.
+    fn reinforce(&mut self, seg: usize) {
+        let inc = self.config.permanence_increment;
+        let dec = self.config.permanence_decrement;
+        let prev = &self.prev_active_cells;
+        for (pre, perm) in &mut self.segments[seg].synapses {
+            if prev.binary_search(pre).is_ok() {
+                *perm = (*perm + inc).min(1.0);
+            } else {
+                *perm = (*perm - dec).max(0.0);
+            }
+        }
+    }
+
+    /// Adds synapses from previous winner cells not already on the segment.
+    fn grow(&mut self, seg: usize) {
+        let existing: Vec<usize> = self.segments[seg]
+            .synapses
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        let mut budget = self
+            .config
+            .max_new_synapses
+            .saturating_sub(existing.len().min(self.config.max_new_synapses));
+        // Collect first to end the immutable borrow of self.
+        let candidates: Vec<usize> = self
+            .prev_winner_cells
+            .iter()
+            .copied()
+            .filter(|p| !existing.contains(p))
+            .collect();
+        for pre in candidates {
+            if budget == 0 {
+                break;
+            }
+            self.segments[seg]
+                .synapses
+                .push((pre, self.config.initial_permanence));
+            budget -= 1;
+        }
+    }
+
+    /// Creates a fresh segment on `cell` wired to the previous winners.
+    fn grow_segment(&mut self, cell: usize) {
+        let synapses: Vec<(usize, f64)> = self
+            .prev_winner_cells
+            .iter()
+            .take(self.config.max_new_synapses)
+            .map(|&p| (p, self.config.initial_permanence))
+            .collect();
+        if synapses.is_empty() {
+            return;
+        }
+        self.segments.push(Segment { cell, synapses });
+        self.cell_segments[cell].push(self.segments.len() - 1);
+    }
+
+    /// Best matching segment (by potential-synapse overlap with the
+    /// previous active cells) on any cell of `col`, if any reaches the
+    /// matching threshold.
+    fn best_matching_in_column(&self, col: usize) -> Option<(usize, usize)> {
+        let m = self.config.cells_per_column;
+        let mut best: Option<(usize, usize, usize)> = None;
+        for cell in col * m..(col + 1) * m {
+            for &seg in &self.cell_segments[cell] {
+                let count = self.segments[seg]
+                    .synapses
+                    .iter()
+                    .filter(|(p, _)| self.prev_active_cells.binary_search(p).is_ok())
+                    .count();
+                if count >= self.config.min_threshold
+                    && best.map(|(_, _, c)| count > c).unwrap_or(true)
+                {
+                    best = Some((cell, seg, count));
+                }
+            }
+        }
+        best.map(|(cell, seg, _)| (cell, seg))
+    }
+
+    /// The least-recently-chosen cell in a column (round robin).
+    fn least_used_cell(&self, col: usize) -> usize {
+        let m = self.config.cells_per_column;
+        (col * m..(col + 1) * m)
+            .min_by_key(|&c| self.usage[c])
+            .expect("cells_per_column > 0")
+    }
+
+    /// Cells with an active segment against `active_cells`.
+    fn compute_predictive(&self, active_cells: &[usize]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (seg_id, seg) in self.segments.iter().enumerate() {
+            let connected = seg
+                .synapses
+                .iter()
+                .filter(|(p, perm)| {
+                    *perm >= self.config.connected_threshold
+                        && active_cells.binary_search(p).is_ok()
+                })
+                .count();
+            if connected >= self.config.activation_threshold {
+                out.push((seg.cell, seg_id));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Column SDRs standing in for spatial-pooler output: pattern `i`
+    /// activates columns `10 i .. 10 i + 10`.
+    fn pattern(i: usize) -> Sdr {
+        Sdr::new(100, (10 * i..10 * i + 10).collect())
+    }
+
+    fn tm() -> TemporalMemory {
+        TemporalMemory::new(100, TemporalMemoryConfig::default())
+    }
+
+    #[test]
+    fn first_presentation_is_fully_anomalous() {
+        let mut t = tm();
+        let step = t.compute(&pattern(0), true);
+        assert_eq!(step.anomaly_score, 1.0);
+        assert_eq!(step.bursting_columns, 10);
+    }
+
+    #[test]
+    fn repeated_sequence_becomes_predictable() {
+        let mut t = tm();
+        // Learn A → B → C for many repetitions.
+        for _ in 0..40 {
+            for p in 0..3 {
+                t.compute(&pattern(p), true);
+            }
+        }
+        // Replay without learning: transitions must now be predicted.
+        t.compute(&pattern(0), false);
+        let b = t.compute(&pattern(1), false);
+        let c = t.compute(&pattern(2), false);
+        assert!(
+            b.anomaly_score < 0.2,
+            "B after A should be predicted, score {}",
+            b.anomaly_score
+        );
+        assert!(
+            c.anomaly_score < 0.2,
+            "C after B should be predicted, score {}",
+            c.anomaly_score
+        );
+    }
+
+    #[test]
+    fn novel_pattern_scores_high_after_training() {
+        let mut t = tm();
+        for _ in 0..40 {
+            for p in 0..3 {
+                t.compute(&pattern(p), true);
+            }
+        }
+        t.compute(&pattern(0), false);
+        // Jump to a never-seen pattern: fully unpredicted.
+        let step = t.compute(&pattern(7), false);
+        assert_eq!(step.anomaly_score, 1.0);
+    }
+
+    #[test]
+    fn broken_transition_scores_high() {
+        let mut t = tm();
+        for _ in 0..40 {
+            for p in 0..4 {
+                t.compute(&pattern(p), true);
+            }
+        }
+        t.compute(&pattern(0), false);
+        t.compute(&pattern(1), false);
+        // Expected C (pattern 2), got A (pattern 0): within-alphabet but
+        // out-of-order — the prediction errs on most columns.
+        let step = t.compute(&pattern(3), false);
+        assert!(
+            step.anomaly_score > 0.5,
+            "out-of-order transition should be anomalous, score {}",
+            step.anomaly_score
+        );
+    }
+
+    #[test]
+    fn reset_clears_sequence_state_but_keeps_segments() {
+        let mut t = tm();
+        for _ in 0..30 {
+            t.compute(&pattern(0), true);
+            t.compute(&pattern(1), true);
+        }
+        let segments_before = t.num_segments();
+        t.reset();
+        assert_eq!(t.num_segments(), segments_before);
+        // After reset, even the learned first element bursts again.
+        let step = t.compute(&pattern(0), false);
+        assert_eq!(step.anomaly_score, 1.0);
+    }
+
+    #[test]
+    fn empty_input_scores_zero() {
+        let mut t = tm();
+        let step = t.compute(&Sdr::empty(100), true);
+        assert_eq!(step.anomaly_score, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_wrong_width() {
+        let mut t = tm();
+        t.compute(&Sdr::empty(50), false);
+    }
+}

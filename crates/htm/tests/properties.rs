@@ -1,0 +1,62 @@
+//! Property-based tests for the HTM pipeline.
+
+use env2vec_htm::encoder::ScalarEncoder;
+use env2vec_htm::sdr::Sdr;
+use env2vec_htm::spatial_pooler::{SpatialPooler, SpatialPoolerConfig};
+use env2vec_htm::{HtmAnomalyDetector, HtmConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every encoding has exactly `w` active bits inside the SDR width.
+    #[test]
+    fn encoder_cardinality_invariant(value in -50.0f64..150.0) {
+        let enc = ScalarEncoder::new(0.0, 100.0, 128, 16);
+        let sdr = enc.encode(value);
+        prop_assert_eq!(sdr.cardinality(), 16);
+        prop_assert!(sdr.active().iter().all(|&b| b < 128));
+    }
+
+    /// Encoding overlap never increases as values move apart.
+    #[test]
+    fn encoder_overlap_monotone(base in 10.0f64..60.0, d1 in 0.0f64..20.0, d2 in 0.0f64..20.0) {
+        let enc = ScalarEncoder::new(0.0, 100.0, 256, 24);
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let b = enc.encode(base);
+        prop_assert!(b.overlap(&enc.encode(base + near)) >= b.overlap(&enc.encode(base + far)));
+    }
+
+    /// SDR overlap is symmetric and bounded by min cardinality.
+    #[test]
+    fn sdr_overlap_symmetric_bounded(
+        a in proptest::collection::vec(0usize..64, 0..20),
+        b in proptest::collection::vec(0usize..64, 0..20),
+    ) {
+        let x = Sdr::new(64, a);
+        let y = Sdr::new(64, b);
+        prop_assert_eq!(x.overlap(&y), y.overlap(&x));
+        prop_assert!(x.overlap(&y) <= x.cardinality().min(y.cardinality()));
+    }
+
+    /// The spatial pooler's output is deterministic for a fixed input and
+    /// never exceeds its activity budget.
+    #[test]
+    fn pooler_output_budget(value in 0.0f64..100.0) {
+        let enc = ScalarEncoder::new(0.0, 100.0, 128, 16);
+        let mut sp = SpatialPooler::new(128, SpatialPoolerConfig::default());
+        let a = sp.compute(&enc.encode(value), false);
+        let b = sp.compute(&enc.encode(value), false);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.cardinality() <= 10);
+    }
+
+    /// Detector outputs stay in [0, 1] on arbitrary bounded streams.
+    #[test]
+    fn detector_scores_bounded(values in proptest::collection::vec(0.0f64..100.0, 1..80)) {
+        let mut det = HtmAnomalyDetector::new(HtmConfig::for_range(0.0, 100.0));
+        for v in values {
+            let r = det.process(v);
+            prop_assert!((0.0..=1.0).contains(&r.raw_score));
+            prop_assert!((0.0..=1.0).contains(&r.likelihood));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Cholesky factorisation and SPD linear solves.
+//!
+//! The ridge baselines of the paper (`Ridge`, `Ridge_ts`, and the per-chain
+//! linear models behind Figure 1) are solved in closed form from the normal
+//! equations `(XᵀX + αI) w = Xᵀy`. The system matrix is symmetric positive
+//! definite for any `α > 0`, so a Cholesky factorisation followed by two
+//! triangular solves is the canonical method — the same route scikit-learn
+//! takes for its `cholesky` solver.
+
+// Indexed loops mirror the textbook formulations of these numeric
+// kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// The lower-triangular factor `L` with `A = L Lᵀ`.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the strict upper triangle is
+    /// ignored, so callers may pass a matrix whose upper half is stale.
+    /// Returns [`Error::NotPositiveDefinite`] when a pivot is non-positive.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(Error::NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` given the factorisation of `A`.
+    ///
+    /// Returns an error when `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(Error::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * z[k];
+            }
+            z[i] = sum / self.l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// Returns an error when `B` has the wrong number of rows.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(Error::ShapeMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Log-determinant of the factorised matrix, `2 Σ ln L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Solves the SPD system `A x = b` in one call.
+///
+/// Returns an error when `A` is not square, not positive definite, or the
+/// dimensions disagree.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Cholesky::decompose(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = M Mᵀ + I for a fixed M, guaranteed SPD.
+        Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 6.0, 3.0, 1.0, 3.0, 7.0]).unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let l = ch.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let x = solve_spd(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let inv = ch.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(Error::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::decompose(&a).is_err());
+        let ch = Cholesky::decompose(&spd3()).unwrap();
+        assert!(ch.solve(&[1.0, 2.0]).is_err());
+        assert!(ch.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let ch = Cholesky::decompose(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_lower_triangle_only() {
+        // Same lower triangle as spd3 but garbage above the diagonal.
+        let mut a = spd3();
+        a.set(0, 1, 99.0);
+        a.set(0, 2, -99.0);
+        a.set(1, 2, 42.0);
+        let ch = Cholesky::decompose(&a).unwrap();
+        let clean = Cholesky::decompose(&spd3()).unwrap();
+        for (x, y) in ch.factor().as_slice().iter().zip(clean.factor().as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+//!
+//! PCA (paper Figure 6) needs the eigenvectors of a small covariance matrix
+//! — at most `10 k × 10 k` where `k` is the number of environment-metadata
+//! features, typically 40×40. The cyclic Jacobi method is exact, simple,
+//! and unconditionally stable for symmetric input, which makes it the right
+//! tool at this scale.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose *columns* are the unit eigenvectors, ordered to match
+    /// [`SymmetricEigen::values`].
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Only symmetry up to floating-point noise is assumed; the routine
+/// symmetrises its working copy by averaging `a` with its transpose.
+/// Returns an error when the matrix is not square or Jacobi sweeps fail to
+/// drive the off-diagonal mass below tolerance.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if a.rows() != a.cols() {
+        return Err(Error::ShapeMismatch {
+            op: "symmetric_eigen",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    // Symmetrised working copy.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * m.frobenius_norm().max(1.0);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j).abs();
+            }
+        }
+        if off < tol {
+            return Ok(sorted(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < tol / (n * n) as f64 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                rotate(&mut m, &mut v, p, q, c, s);
+            }
+        }
+    }
+    Err(Error::NoConvergence {
+        routine: "symmetric_eigen",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Applies the Jacobi rotation `J(p, q, θ)` to `m` (two-sided) and
+/// accumulates it into the eigenvector matrix `v` (one-sided).
+fn rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+/// Sorts eigenpairs by descending eigenvalue.
+fn sorted(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    let values = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = Matrix::from_vec(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_close(e.values[0], 5.0);
+        assert_close(e.values[1], 2.0);
+        assert_close(e.values[2], 1.0);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0);
+        assert_close(e.values[1], 1.0);
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a =
+            Matrix::from_vec(3, 3, vec![4.0, 1.0, -2.0, 1.0, 3.0, 0.5, -2.0, 0.5, 5.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let lam = Matrix::from_fn(3, 3, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rec = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            assert_close(*x, *y);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                10.0, 2.0, 3.0, 1.0, 2.0, 8.0, 0.5, 0.0, 3.0, 0.5, 6.0, 2.0, 1.0, 0.0, 2.0, 4.0,
+            ],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert_close(vtv.get(i, j), want);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.0, 2.0, 7.0, 1.0, 0.0, 1.0, 3.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let trace = a.get(0, 0) + a.get(1, 1) + a.get(2, 2);
+        assert_close(e.values.iter().sum::<f64>(), trace);
+    }
+
+    #[test]
+    fn rejects_non_square_and_handles_empty() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        let e = symmetric_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

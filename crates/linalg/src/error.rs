@@ -1,0 +1,118 @@
+//! Error type shared by all fallible linear-algebra routines.
+
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error raised by a linear-algebra routine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite {
+        /// Index of the pivot where the factorisation broke down.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty where at least one element is required.
+    Empty {
+        /// Name of the routine that required non-empty input.
+        routine: &'static str,
+    },
+    /// An index was out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length of the dimension being indexed.
+        len: usize,
+    },
+    /// A numeric argument was invalid (NaN, non-positive, etc.).
+    InvalidArgument {
+        /// Description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Error::NoConvergence {
+                routine,
+                iterations,
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
+            Error::Empty { routine } => write!(f, "{routine} requires non-empty input"),
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Error::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = Error::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = Error::NotPositiveDefinite { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = Error::NoConvergence {
+            routine: "jacobi",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("jacobi"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::Empty { routine: "mean" });
+    }
+}

@@ -1,0 +1,638 @@
+//! Row-major dense `f64` matrix.
+//!
+//! [`Matrix`] is the workhorse value type of the workspace: the autodiff
+//! engine stores activations and gradients in it, the ridge baseline builds
+//! normal equations with it, and PCA projects through it. The implementation
+//! favours clarity and cache-friendly loop orders (`ikj` matmul) over SIMD
+//! tricks; at the model sizes of the paper (hidden layers of at most 1024
+//! units) this is more than fast enough.
+
+// Indexed loops mirror the textbook formulations of these numeric
+// kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A dense matrix of `f64` stored in row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(v: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// Returns an error when the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(Error::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (i, cols),
+                    rhs: (i, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as a `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs` using a cache-friendly `ikj` loop order.
+    ///
+    /// Returns an error when the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// Returns an error when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(Error::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product `self ⊙ rhs`.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// In-place element-wise addition of `rhs` scaled by `alpha`
+    /// (`self += alpha * rhs`, the `axpy` idiom).
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scalar multiple `alpha * self`.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| alpha * x).collect(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element, or `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Whether all elements are finite (no NaN or infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// A new matrix consisting of the selected rows, in order.
+    ///
+    /// Returns an error when any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(Error::IndexOutOfBounds {
+                    index: i,
+                    len: self.rows,
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Stacks `self` on top of `below`.
+    ///
+    /// Returns an error when column counts differ.
+    pub fn vstack(&self, below: &Matrix) -> Result<Matrix> {
+        if self.cols != below.cols {
+            return Err(Error::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: below.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&below.data);
+        Ok(Matrix {
+            rows: self.rows + below.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Concatenates `self` with `right` column-wise.
+    ///
+    /// Returns an error when row counts differ.
+    pub fn hstack(&self, right: &Matrix) -> Result<Matrix> {
+        if self.rows != right.rows {
+            return Err(Error::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: right.shape(),
+            });
+        }
+        let cols = self.cols + right.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(right.row(i));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Per-column means, or an empty vector for a matrix with no rows.
+    pub fn col_means(&self) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; self.cols];
+        }
+        let mut means = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (m, &x) in means.iter_mut().zip(self.row(i)) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows as f64;
+        }
+        means
+    }
+
+    /// The Gram matrix `selfᵀ * self`, exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for row in 0..self.rows {
+            let r = self.row(row);
+            for i in 0..n {
+                let ri = r[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    out.data[i * n + j] += ri * r[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                out.data[i * n + j] = out.data[j * n + i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = m23();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn from_rows_empty_is_0x0() {
+        let m = Matrix::from_rows(&[]).unwrap();
+        assert_eq!(m.shape(), (0, 0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = m23();
+        let left = Matrix::identity(2).matmul(&m).unwrap();
+        let right = m.matmul(&Matrix::identity(3)).unwrap();
+        assert_eq!(left, m);
+        assert_eq!(right, m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m23();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = m23();
+        assert!(a.matmul(&m23()).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = m23();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = m23();
+        let v = [1.0, 0.5, -1.0];
+        let got = m.matvec(&v).unwrap();
+        let expect = m.matmul(&Matrix::col_vector(&v)).unwrap();
+        assert_eq!(got, expect.into_vec());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m23();
+        let b = a.scale(2.0);
+        assert_eq!(a.add(&b).unwrap().get(0, 0), 3.0);
+        assert_eq!(b.sub(&a).unwrap(), a);
+        assert_eq!(a.hadamard(&a).unwrap().get(1, 2), 36.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::zeros(2, 3);
+        a.axpy(0.5, &m23()).unwrap();
+        assert_eq!(a.get(1, 1), 2.5);
+        assert!(a.axpy(1.0, &Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = m23();
+        let v = a.vstack(&a).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.row(3), a.row(1));
+        let h = a.hstack(&a).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        assert_eq!(h.get(0, 4), 2.0);
+        assert!(a.vstack(&Matrix::zeros(1, 2)).is_err());
+        assert!(a.hstack(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn select_rows_orders_and_bounds() {
+        let a = m23();
+        let s = a.select_rows(&[1, 0, 1]).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), a.row(1));
+        assert!(a.select_rows(&[2]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m23();
+        assert_eq!(a.sum(), 21.0);
+        assert!((a.frobenius_norm() - 91.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 6.0);
+        assert_eq!(a.col_means(), vec![2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = m23();
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        for (x, y) in g.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut a = m23();
+        assert!(a.is_finite());
+        a.set(0, 0, f64::NAN);
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn map_and_map_inplace_agree() {
+        let a = m23();
+        let mut b = a.clone();
+        b.map_inplace(|x| x * x);
+        assert_eq!(a.map(|x| x * x), b);
+    }
+}

@@ -1,0 +1,176 @@
+//! Principal component analysis.
+//!
+//! Figure 6 of the paper projects the concatenated environment embeddings of
+//! every test execution to two dimensions with PCA, showing that executions
+//! with the same build type cluster together. This module implements exactly
+//! that pipeline: centre the samples, form the covariance matrix, take its
+//! leading eigenvectors (via [`crate::eigen`]), and project.
+
+use crate::eigen::symmetric_eigen;
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Component matrix: one principal axis per *row*.
+    components: Matrix,
+    /// Variance explained by each retained component, descending.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA with `n_components` axes on the rows of `data`.
+    ///
+    /// Each row of `data` is one sample. Returns an error when `data` has no
+    /// rows, `n_components` is zero, or exceeds the feature count.
+    pub fn fit(data: &Matrix, n_components: usize) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::Empty { routine: "pca fit" });
+        }
+        if n_components == 0 || n_components > data.cols() {
+            return Err(Error::InvalidArgument {
+                what: "n_components must be in 1..=cols",
+            });
+        }
+        let mean = data.col_means();
+        let centered = Matrix::from_fn(data.rows(), data.cols(), |i, j| data.get(i, j) - mean[j]);
+        // Covariance with the 1/(n-1) convention (1/n degenerate case: n=1).
+        let denom = if data.rows() > 1 {
+            (data.rows() - 1) as f64
+        } else {
+            1.0
+        };
+        let cov = centered.gram().scale(1.0 / denom);
+        let eig = symmetric_eigen(&cov)?;
+        let components = Matrix::from_fn(n_components, data.cols(), |i, j| eig.vectors.get(j, i));
+        let explained_variance = eig.values[..n_components].to_vec();
+        Ok(Pca {
+            mean,
+            components,
+            explained_variance,
+        })
+    }
+
+    /// Projects samples (rows of `data`) into the principal subspace.
+    ///
+    /// Returns an error when the feature count differs from the fit data.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.mean.len() {
+            return Err(Error::ShapeMismatch {
+                op: "pca transform",
+                lhs: data.shape(),
+                rhs: (1, self.mean.len()),
+            });
+        }
+        let centered = Matrix::from_fn(data.rows(), data.cols(), |i, j| {
+            data.get(i, j) - self.mean[j]
+        });
+        centered.matmul(&self.components.transpose())
+    }
+
+    /// Fits on `data` and immediately projects it.
+    pub fn fit_transform(data: &Matrix, n_components: usize) -> Result<(Pca, Matrix)> {
+        let pca = Pca::fit(data, n_components)?;
+        let projected = pca.transform(data)?;
+        Ok((pca, projected))
+    }
+
+    /// Variance captured by each retained component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by each retained component.
+    ///
+    /// Based on the retained eigenvalues over the total variance of the
+    /// training data; sums to ≤ 1.
+    pub fn explained_variance_ratio(&self, total_variance: f64) -> Vec<f64> {
+        if total_variance <= 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance
+            .iter()
+            .map(|v| v / total_variance)
+            .collect()
+    }
+
+    /// The per-feature mean subtracted before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Principal axes, one per row.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Samples lying (noisily) on the line y = 2x in 2-D.
+    fn line_data() -> Matrix {
+        let xs = [-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0];
+        Matrix::from_rows(&xs.iter().map(|&x| vec![x, 2.0 * x]).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn first_component_aligns_with_dominant_direction() {
+        let pca = Pca::fit(&line_data(), 1).unwrap();
+        let c = pca.components().row(0);
+        // Direction (1, 2)/sqrt(5), up to sign.
+        let expect = [1.0 / 5.0_f64.sqrt(), 2.0 / 5.0_f64.sqrt()];
+        let dot: f64 = c.iter().zip(expect.iter()).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.999, "component {c:?}");
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_order_on_line() {
+        let data = line_data();
+        let (_, proj) = Pca::fit_transform(&data, 1).unwrap();
+        // Projections must be monotone in x (up to global sign).
+        let sign = (proj.get(6, 0) - proj.get(0, 0)).signum();
+        for i in 1..proj.rows() {
+            assert!(sign * (proj.get(i, 0) - proj.get(i - 1, 0)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn second_component_captures_no_variance_on_exact_line() {
+        let pca = Pca::fit(&line_data(), 2).unwrap();
+        assert!(pca.explained_variance()[1].abs() < 1e-10);
+    }
+
+    #[test]
+    fn transform_centers_training_mean_to_origin() {
+        let data = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 14.0]]).unwrap();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let mean_row = Matrix::row_vector(&[2.0, 12.0]);
+        let proj = pca.transform(&mean_row).unwrap();
+        assert!(proj.get(0, 0).abs() < 1e-10);
+        assert!(proj.get(0, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let data = line_data();
+        assert!(Pca::fit(&data, 0).is_err());
+        assert!(Pca::fit(&data, 3).is_err());
+        assert!(Pca::fit(&Matrix::zeros(0, 2), 1).is_err());
+        let pca = Pca::fit(&data, 1).unwrap();
+        assert!(pca.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn explained_variance_ratio_bounds() {
+        let data = line_data();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let total: f64 = pca.explained_variance().iter().sum();
+        let ratio = pca.explained_variance_ratio(total);
+        assert!((ratio.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(pca.explained_variance_ratio(0.0).iter().all(|&r| r == 0.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These helpers cover the dot products, norms, and element-wise combinations
+//! used in the GRU recurrence, the SVR kernel evaluations, and the anomaly
+//! scoring. They are deliberately slice-based so callers can use plain
+//! `Vec<f64>` rows without wrapping them in [`crate::Matrix`].
+
+use crate::error::{Error, Result};
+
+/// Dot product of two equal-length vectors.
+///
+/// Returns an error when lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            op: "dot",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// Returns an error when lengths differ.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            op: "squared_distance",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+}
+
+/// Element-wise sum of two equal-length vectors.
+///
+/// Returns an error when lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            op: "vec add",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x + y).collect())
+}
+
+/// `a + alpha * b` for equal-length vectors, in place on `a`.
+///
+/// Returns an error when lengths differ.
+pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            op: "vec axpy",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Scales every element of `a` by `alpha` in place.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Element-wise (Hadamard) product of two equal-length vectors.
+///
+/// Returns an error when lengths differ.
+pub fn hadamard(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            op: "vec hadamard",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).collect())
+}
+
+/// Index and value of the maximum element.
+///
+/// Returns an error for an empty slice; ties resolve to the first maximum.
+pub fn argmax(a: &[f64]) -> Result<(usize, f64)> {
+    if a.is_empty() {
+        return Err(Error::Empty { routine: "argmax" });
+    }
+    let mut best = (0, a[0]);
+    for (i, &x) in a.iter().enumerate().skip(1) {
+        if x > best.1 {
+            best = (i, x);
+        }
+    }
+    Ok(best)
+}
+
+/// Index and value of the minimum element.
+///
+/// Returns an error for an empty slice; ties resolve to the first minimum.
+pub fn argmin(a: &[f64]) -> Result<(usize, f64)> {
+    if a.is_empty() {
+        return Err(Error::Empty { routine: "argmin" });
+    }
+    let mut best = (0, a[0]);
+    for (i, &x) in a.iter().enumerate().skip(1) {
+        if x < best.1 {
+            best = (i, x);
+        }
+    }
+    Ok(best)
+}
+
+/// Normalises `a` to unit L2 norm in place; a zero vector is left unchanged.
+pub fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 25.0);
+        assert!(squared_distance(&[0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn add_and_hadamard() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[1.0, 3.0]).unwrap();
+        assert_eq!(a, vec![3.0, 7.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn arg_extrema() {
+        let v = [1.0, 5.0, 5.0, -2.0];
+        assert_eq!(argmax(&v).unwrap(), (1, 5.0));
+        assert_eq!(argmin(&v).unwrap(), (3, -2.0));
+        assert!(argmax(&[]).is_err());
+        assert!(argmin(&[]).is_err());
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use env2vec_linalg::cholesky::Cholesky;
+use env2vec_linalg::eigen::symmetric_eigen;
+use env2vec_linalg::pca::Pca;
+use env2vec_linalg::stats::{empirical_cdf, quantile, Welford};
+use env2vec_linalg::{vector, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with entries in [-10, 10] and shape up to 6x6.
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized to shape"))
+    })
+}
+
+/// Strategy: a square matrix with shape up to 5x5.
+fn square_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5).prop_flat_map(|n| {
+        proptest::collection::vec(-5.0f64..5.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("sized to shape"))
+    })
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() < tol)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(m in small_matrix()) {
+        let left = Matrix::identity(m.rows()).matmul(&m).unwrap();
+        let right = m.matmul(&Matrix::identity(m.cols())).unwrap();
+        prop_assert!(approx_eq(&left, &m, 1e-12));
+        prop_assert!(approx_eq(&right, &m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(), seed in 0u64..1000) {
+        // (A B)ᵀ = Bᵀ Aᵀ for a compatible B derived deterministically.
+        let cols = ((seed % 4) + 1) as usize;
+        let b = Matrix::from_fn(a.cols(), cols, |i, j| ((i * 7 + j * 3 + seed as usize) % 11) as f64 - 5.0);
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-9));
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(a in small_matrix()) {
+        let b = a.scale(0.5);
+        prop_assert!(approx_eq(&a.add(&b).unwrap(), &b.add(&a).unwrap(), 1e-12));
+        prop_assert!(approx_eq(&a.add(&b).unwrap().sub(&b).unwrap(), &a, 1e-9));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(m in small_matrix()) {
+        let g = m.gram();
+        for i in 0..g.rows() {
+            // Diagonal of a Gram matrix is a sum of squares.
+            prop_assert!(g.get(i, i) >= -1e-12);
+            for j in 0..g.cols() {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(m in square_matrix()) {
+        // M Mᵀ + (n+1) I is comfortably SPD.
+        let n = m.rows();
+        let spd = {
+            let mut s = m.matmul(&m.transpose()).unwrap();
+            for i in 0..n {
+                let v = s.get(i, i) + (n as f64 + 1.0);
+                s.set(i, i, v);
+            }
+            s
+        };
+        let ch = Cholesky::decompose(&spd).unwrap();
+        let rec = ch.factor().matmul(&ch.factor().transpose()).unwrap();
+        prop_assert!(approx_eq(&rec, &spd, 1e-6));
+    }
+
+    #[test]
+    fn cholesky_solve_satisfies_system(m in square_matrix(), shift in 1.0f64..10.0) {
+        let n = m.rows();
+        let mut spd = m.matmul(&m.transpose()).unwrap();
+        for i in 0..n {
+            let v = spd.get(i, i) + shift * n as f64;
+            spd.set(i, i, v);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 - 1.0) * 0.7).collect();
+        let x = Cholesky::decompose(&spd).unwrap().solve(&b).unwrap();
+        let ax = spd.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigen_orthonormal_and_reconstructs(m in square_matrix()) {
+        let sym = Matrix::from_fn(m.rows(), m.cols(), |i, j| 0.5 * (m.get(i, j) + m.get(j, i)));
+        let e = symmetric_eigen(&sym).unwrap();
+        let n = sym.rows();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        prop_assert!(approx_eq(&vtv, &Matrix::identity(n), 1e-7));
+        let lam = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rec = e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(approx_eq(&rec, &sym, 1e-6));
+        // Eigenvalues sorted descending.
+        prop_assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn pca_projection_dimensions_and_variance_order(
+        rows in 3usize..12,
+        cols in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let data = Matrix::from_fn(rows, cols, |i, j| {
+            let base = (i * 31 + j * 17 + seed as usize) % 23;
+            base as f64 * 0.5 + (i as f64) * (j as f64 + 1.0) * 0.1
+        });
+        let k = cols.min(2);
+        let pca = Pca::fit(&data, k).unwrap();
+        let proj = pca.transform(&data).unwrap();
+        prop_assert_eq!(proj.shape(), (rows, k));
+        // Explained variance must be descending and non-negative (within fp noise).
+        let ev = pca.explained_variance();
+        prop_assert!(ev.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        prop_assert!(ev.iter().all(|&v| v > -1e-9));
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-8);
+        prop_assert!((w.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(xs in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+        let q25 = quantile(&xs, 0.25).unwrap();
+        let q50 = quantile(&xs, 0.50).unwrap();
+        let q75 = quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min <= q25 && q75 <= max);
+    }
+
+    #[test]
+    fn ecdf_is_valid_distribution(xs in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+        let (vals, fracs) = empirical_cdf(&xs).unwrap();
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(fracs.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((fracs.last().unwrap() - 1.0).abs() < 1e-12);
+        prop_assert!(fracs[0] > 0.0);
+    }
+
+    #[test]
+    fn vector_dot_cauchy_schwarz(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        seed in 0u64..100,
+    ) {
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, _)| ((i as u64 + seed) % 7) as f64 - 3.0).collect();
+        let d = vector::dot(&a, &b).unwrap().abs();
+        let bound = vector::norm(&a) * vector::norm(&b);
+        prop_assert!(d <= bound + 1e-9);
+    }
+}

@@ -1,0 +1,805 @@
+//! Define-by-run computation graph with reverse-mode autodiff.
+//!
+//! A [`Graph`] is a tape: every operation appends a node holding its forward
+//! value and the identity of its inputs. Because an op can only reference
+//! nodes created before it, the insertion order is already a topological
+//! order, and [`Graph::backward`] is a single reverse sweep accumulating
+//! gradients.
+//!
+//! Graphs are cheap and short-lived: a training step builds one, runs
+//! backward, pulls out the parameter gradients, and drops it.
+
+use env2vec_linalg::{Error, Matrix, Result};
+
+/// Identifier of a node within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Raw index of the node in its graph's tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The operation that produced a node.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A leaf value (input or bound parameter).
+    Leaf,
+    /// Matrix product `a * b`.
+    MatMul(NodeId, NodeId),
+    /// Element-wise sum of two same-shape nodes.
+    Add(NodeId, NodeId),
+    /// Adds a `1 x C` row to every row of an `R x C` node.
+    AddRowBroadcast(NodeId, NodeId),
+    /// Element-wise difference `a - b`.
+    Sub(NodeId, NodeId),
+    /// Element-wise (Hadamard) product.
+    Mul(NodeId, NodeId),
+    /// Scalar multiple `alpha * a`.
+    Scale(NodeId, f64),
+    /// Element-wise `a + alpha`.
+    AddScalar(NodeId),
+    /// Element-wise logistic sigmoid.
+    Sigmoid(NodeId),
+    /// Element-wise hyperbolic tangent.
+    Tanh(NodeId),
+    /// Element-wise rectified linear unit.
+    Relu(NodeId),
+    /// Element-wise square.
+    Square(NodeId),
+    /// Column-wise concatenation of same-row-count nodes.
+    ConcatCols(Vec<NodeId>),
+    /// Gathers the listed rows of a table node (embedding lookup).
+    GatherRows { table: NodeId, indices: Vec<usize> },
+    /// Sums each row to produce an `R x 1` column.
+    RowSums(NodeId),
+    /// Mean over all elements, producing a `1 x 1` scalar node.
+    MeanAll(NodeId),
+    /// Element-wise product with a fixed (inverted-dropout) mask.
+    DropoutMask { input: NodeId, mask: Matrix },
+    /// Row-wise softmax (used by attention pooling).
+    RowSoftmax(NodeId),
+    /// Contiguous column slice `[start, start + len)`.
+    SliceCols {
+        input: NodeId,
+        start: usize,
+        len: usize,
+    },
+}
+
+/// One tape entry.
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A define-by-run computation tape.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a leaf node holding `value` (an input or a bound parameter).
+    pub fn leaf(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Forward value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this graph.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of the loss with respect to a node, if backward has reached
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this graph.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Matrix product node.
+    ///
+    /// Returns an error on inner-dimension mismatch.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::MatMul(a, b)))
+    }
+
+    /// Element-wise sum node.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Add(a, b)))
+    }
+
+    /// Adds the `1 x C` row `bias` to every row of `a`.
+    ///
+    /// Returns an error when `bias` is not a single row of matching width.
+    pub fn add_row_broadcast(&mut self, a: NodeId, bias: NodeId) -> Result<NodeId> {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[bias.0].value;
+        if bv.rows() != 1 || bv.cols() != av.cols() {
+            return Err(Error::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: av.shape(),
+                rhs: bv.shape(),
+            });
+        }
+        let mut v = av.clone();
+        for i in 0..v.rows() {
+            for (x, &b) in v.row_mut(i).iter_mut().zip(bv.row(0)) {
+                *x += b;
+            }
+        }
+        Ok(self.push(v, Op::AddRowBroadcast(a, bias)))
+    }
+
+    /// Element-wise difference node.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Sub(a, b)))
+    }
+
+    /// Element-wise product node.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value)?;
+        Ok(self.push(v, Op::Mul(a, b)))
+    }
+
+    /// Scalar multiple node.
+    pub fn scale(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let v = self.nodes[a.0].value.scale(alpha);
+        self.push(v, Op::Scale(a, alpha))
+    }
+
+    /// Element-wise `a + alpha` node.
+    pub fn add_scalar(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x + alpha);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// `1 - a`, the complement used by the GRU interpolation gate.
+    pub fn one_minus(&mut self, a: NodeId) -> NodeId {
+        let neg = self.scale(a, -1.0);
+        self.add_scalar(neg, 1.0)
+    }
+
+    /// Logistic-sigmoid node.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic-tangent node.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// ReLU node.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Element-wise square node.
+    pub fn square(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Column-wise concatenation of nodes with equal row counts.
+    ///
+    /// Returns an error for an empty list or mismatched row counts.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> Result<NodeId> {
+        if parts.is_empty() {
+            return Err(Error::Empty {
+                routine: "concat_cols",
+            });
+        }
+        let mut v = self.nodes[parts[0].0].value.clone();
+        for &p in &parts[1..] {
+            v = v.hstack(&self.nodes[p.0].value)?;
+        }
+        Ok(self.push(v, Op::ConcatCols(parts.to_vec())))
+    }
+
+    /// Gathers `indices` rows of `table` (an embedding lookup).
+    ///
+    /// Returns an error when an index is out of range.
+    pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> Result<NodeId> {
+        let v = self.nodes[table.0].value.select_rows(indices)?;
+        Ok(self.push(
+            v,
+            Op::GatherRows {
+                table,
+                indices: indices.to_vec(),
+            },
+        ))
+    }
+
+    /// Sums each row, producing an `R x 1` node — the `Σ v_d ⊙ C`
+    /// reduction of the paper's Equation 2.
+    pub fn row_sums(&mut self, a: NodeId) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        let v = Matrix::from_fn(av.rows(), 1, |i, _| av.row(i).iter().sum());
+        self.push(v, Op::RowSums(a))
+    }
+
+    /// Mean over all elements, producing a `1 x 1` scalar node.
+    ///
+    /// Returns an error for an empty input.
+    pub fn mean_all(&mut self, a: NodeId) -> Result<NodeId> {
+        let av = &self.nodes[a.0].value;
+        if av.is_empty() {
+            return Err(Error::Empty {
+                routine: "mean_all",
+            });
+        }
+        let v = Matrix::filled(1, 1, av.sum() / av.len() as f64);
+        Ok(self.push(v, Op::MeanAll(a)))
+    }
+
+    /// Applies a precomputed inverted-dropout mask (entries `0` or
+    /// `1 / keep_prob`).
+    ///
+    /// Returns an error on shape mismatch. Callers build masks with
+    /// [`crate::layers::dropout_mask`]; at inference time no mask op is
+    /// recorded at all.
+    pub fn dropout(&mut self, a: NodeId, mask: Matrix) -> Result<NodeId> {
+        let v = self.nodes[a.0].value.hadamard(&mask)?;
+        Ok(self.push(v, Op::DropoutMask { input: a, mask }))
+    }
+
+    /// Contiguous column slice `[start, start + len)` of a node.
+    ///
+    /// Returns an error when the slice exceeds the node's width.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> Result<NodeId> {
+        let av = &self.nodes[a.0].value;
+        if start + len > av.cols() || len == 0 {
+            return Err(Error::InvalidArgument {
+                what: "slice_cols out of range or empty",
+            });
+        }
+        let v = Matrix::from_fn(av.rows(), len, |i, j| av.get(i, start + j));
+        Ok(self.push(
+            v,
+            Op::SliceCols {
+                input: a,
+                start,
+                len,
+            },
+        ))
+    }
+
+    /// Row-wise softmax node: each row becomes a probability
+    /// distribution. Numerically stabilised by subtracting the row max.
+    pub fn row_softmax(&mut self, a: NodeId) -> NodeId {
+        let av = &self.nodes[a.0].value;
+        let mut v = av.clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(v, Op::RowSoftmax(a))
+    }
+
+    /// Convenience: mean-squared-error node between prediction and target.
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn mse(&mut self, pred: NodeId, target: NodeId) -> Result<NodeId> {
+        let diff = self.sub(pred, target)?;
+        let sq = self.square(diff);
+        self.mean_all(sq)
+    }
+
+    /// Runs reverse-mode differentiation from `loss`, accumulating
+    /// gradients into every reachable node.
+    ///
+    /// Returns an error when `loss` is not a `1 x 1` scalar node.
+    pub fn backward(&mut self, loss: NodeId) -> Result<()> {
+        if self.nodes[loss.0].value.shape() != (1, 1) {
+            return Err(Error::InvalidArgument {
+                what: "backward requires a 1x1 scalar loss node",
+            });
+        }
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::filled(1, 1, 1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(out_grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Clone the op descriptor to release the borrow on self.nodes.
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let bt = self.nodes[b.0].value.transpose();
+                    let at = self.nodes[a.0].value.transpose();
+                    let da = out_grad.matmul(&bt)?;
+                    let db = at.matmul(&out_grad)?;
+                    self.accumulate(a, da)?;
+                    self.accumulate(b, db)?;
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, out_grad.clone())?;
+                    self.accumulate(b, out_grad)?;
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    // Bias gradient is the column-sum of the output grad.
+                    let cols = out_grad.cols();
+                    let mut bias_grad = Matrix::zeros(1, cols);
+                    for r in 0..out_grad.rows() {
+                        for (bg, &g) in bias_grad.row_mut(0).iter_mut().zip(out_grad.row(r)) {
+                            *bg += g;
+                        }
+                    }
+                    self.accumulate(a, out_grad)?;
+                    self.accumulate(bias, bias_grad)?;
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, out_grad.clone())?;
+                    self.accumulate(b, out_grad.scale(-1.0))?;
+                }
+                Op::Mul(a, b) => {
+                    let da = out_grad.hadamard(&self.nodes[b.0].value)?;
+                    let db = out_grad.hadamard(&self.nodes[a.0].value)?;
+                    self.accumulate(a, da)?;
+                    self.accumulate(b, db)?;
+                }
+                Op::Scale(a, alpha) => {
+                    self.accumulate(a, out_grad.scale(alpha))?;
+                }
+                Op::AddScalar(a) => {
+                    self.accumulate(a, out_grad)?;
+                }
+                Op::Sigmoid(a) => {
+                    // dσ = σ (1 - σ), where σ is this node's forward value.
+                    let s = &self.nodes[i].value;
+                    let local = s.map(|x| x * (1.0 - x));
+                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                }
+                Op::Tanh(a) => {
+                    let t = &self.nodes[i].value;
+                    let local = t.map(|x| 1.0 - x * x);
+                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                }
+                Op::Relu(a) => {
+                    let v = &self.nodes[a.0].value;
+                    let local = v.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                }
+                Op::Square(a) => {
+                    let v = &self.nodes[a.0].value;
+                    let local = v.scale(2.0);
+                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let w = self.nodes[p.0].value.cols();
+                        let rows = out_grad.rows();
+                        let slice = Matrix::from_fn(rows, w, |r, c| out_grad.get(r, offset + c));
+                        self.accumulate(p, slice)?;
+                        offset += w;
+                    }
+                }
+                Op::GatherRows { table, indices } => {
+                    let tv = self.nodes[table.0].value.shape();
+                    let mut tg = Matrix::zeros(tv.0, tv.1);
+                    for (out_row, &idx) in indices.iter().enumerate() {
+                        for (g, &og) in tg.row_mut(idx).iter_mut().zip(out_grad.row(out_row)) {
+                            *g += og;
+                        }
+                    }
+                    self.accumulate(table, tg)?;
+                }
+                Op::RowSums(a) => {
+                    let shape = self.nodes[a.0].value.shape();
+                    let da = Matrix::from_fn(shape.0, shape.1, |r, _| out_grad.get(r, 0));
+                    self.accumulate(a, da)?;
+                }
+                Op::MeanAll(a) => {
+                    let shape = self.nodes[a.0].value.shape();
+                    let g = out_grad.get(0, 0) / (shape.0 * shape.1) as f64;
+                    self.accumulate(a, Matrix::filled(shape.0, shape.1, g))?;
+                }
+                Op::DropoutMask { input, mask } => {
+                    self.accumulate(input, out_grad.hadamard(&mask)?)?;
+                }
+                Op::SliceCols { input, start, len } => {
+                    let shape = self.nodes[input.0].value.shape();
+                    let mut da = Matrix::zeros(shape.0, shape.1);
+                    for r in 0..out_grad.rows() {
+                        for jj in 0..len {
+                            da.set(r, start + jj, out_grad.get(r, jj));
+                        }
+                    }
+                    self.accumulate(input, da)?;
+                }
+                Op::RowSoftmax(a) => {
+                    // dX_i = p_i ⊙ (dY_i − (dY_i · p_i) 1), per row.
+                    let p = &self.nodes[i].value;
+                    let mut da = Matrix::zeros(p.rows(), p.cols());
+                    for r in 0..p.rows() {
+                        let dot: f64 = out_grad
+                            .row(r)
+                            .iter()
+                            .zip(p.row(r))
+                            .map(|(g, q)| g * q)
+                            .sum();
+                        for ((d, &g), &q) in
+                            da.row_mut(r).iter_mut().zip(out_grad.row(r)).zip(p.row(r))
+                        {
+                            *d = q * (g - dot);
+                        }
+                    }
+                    self.accumulate(a, da)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn accumulate(&mut self, id: NodeId, grad: Matrix) -> Result<()> {
+        match &mut self.nodes[id.0].grad {
+            Some(existing) => existing.axpy(1.0, &grad),
+            slot @ None => {
+                *slot = Some(grad);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of `d loss / d leaf`.
+    ///
+    /// `build` constructs the graph from the leaf value and returns
+    /// `(leaf_id, loss_id)`.
+    fn grad_check(leaf: Matrix, build: impl Fn(&mut Graph, Matrix) -> (NodeId, NodeId)) {
+        let mut g = Graph::new();
+        let (leaf_id, loss_id) = build(&mut g, leaf.clone());
+        g.backward(loss_id).unwrap();
+        let analytic = g.grad(leaf_id).expect("leaf reached by backward").clone();
+
+        let eps = 1e-5;
+        for i in 0..leaf.rows() {
+            for j in 0..leaf.cols() {
+                let mut plus = leaf.clone();
+                plus.set(i, j, leaf.get(i, j) + eps);
+                let mut minus = leaf.clone();
+                minus.set(i, j, leaf.get(i, j) - eps);
+                let mut gp = Graph::new();
+                let (_, lp) = build(&mut gp, plus);
+                let mut gm = Graph::new();
+                let (_, lm) = build(&mut gm, minus);
+                let numeric = (gp.value(lp).get(0, 0) - gm.value(lm).get(0, 0)) / (2.0 * eps);
+                let got = analytic.get(i, j);
+                assert!(
+                    (numeric - got).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "grad mismatch at ({i},{j}): numeric {numeric}, analytic {got}"
+                );
+            }
+        }
+    }
+
+    fn leaf_2x3() -> Matrix {
+        Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.1, -0.3]).unwrap()
+    }
+
+    #[test]
+    fn grad_matmul_mean() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let w = g.leaf(Matrix::from_vec(3, 2, vec![0.2, -0.4, 1.0, 0.3, -0.7, 0.9]).unwrap());
+            let y = g.matmul(x_id, w).unwrap();
+            let loss = g.mean_all(y).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_right_operand() {
+        let w = Matrix::from_vec(3, 2, vec![0.2, -0.4, 1.0, 0.3, -0.7, 0.9]).unwrap();
+        grad_check(w, |g, w_val| {
+            let x = g.leaf(leaf_2x3());
+            let w_id = g.leaf(w_val);
+            let y = g.matmul(x, w_id).unwrap();
+            let sq = g.square(y);
+            let loss = g.mean_all(sq).unwrap();
+            (w_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_sigmoid_chain() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let s = g.sigmoid(x_id);
+            let sq = g.square(s);
+            let loss = g.mean_all(sq).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_tanh_chain() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let t = g.tanh(x_id);
+            let loss = g.mean_all(t).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_relu_chain() {
+        // Avoid points exactly at zero where ReLU is non-differentiable.
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let r = g.relu(x_id);
+            let sq = g.square(r);
+            let loss = g.mean_all(sq).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_hadamard_and_broadcast_bias() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let other =
+                g.leaf(Matrix::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, 0.5, 3.0]).unwrap());
+            let prod = g.mul(x_id, other).unwrap();
+            let bias = g.leaf(Matrix::row_vector(&[0.1, -0.2, 0.3]));
+            let shifted = g.add_row_broadcast(prod, bias).unwrap();
+            let loss = g.mean_all(shifted).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_bias_itself() {
+        let bias = Matrix::row_vector(&[0.1, -0.2, 0.3]);
+        grad_check(bias, |g, b| {
+            let x = g.leaf(leaf_2x3());
+            let b_id = g.leaf(b);
+            let shifted = g.add_row_broadcast(x, b_id).unwrap();
+            let sq = g.square(shifted);
+            let loss = g.mean_all(sq).unwrap();
+            (b_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_concat_and_row_sums() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let other = g.leaf(Matrix::filled(2, 2, 0.7));
+            let cat = g.concat_cols(&[x_id, other]).unwrap();
+            let rs = g.row_sums(cat);
+            let sq = g.square(rs);
+            let loss = g.mean_all(sq).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_gather_rows_scatter_adds() {
+        let table = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        grad_check(table, |g, t| {
+            let t_id = g.leaf(t);
+            // Row 1 gathered twice: its gradient must be the sum of both uses.
+            let picked = g.gather_rows(t_id, &[1, 1, 0]).unwrap();
+            let sq = g.square(picked);
+            let loss = g.mean_all(sq).unwrap();
+            (t_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_mse_composition() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let target = g.leaf(Matrix::filled(2, 3, 0.25));
+            let loss = g.mse(x_id, target).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_one_minus_and_scale() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let om = g.one_minus(x_id);
+            let scaled = g.scale(om, 3.0);
+            let sq = g.square(scaled);
+            let loss = g.mean_all(sq).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_sub_both_sides() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let c = g.leaf(Matrix::filled(2, 3, 0.4));
+            let d = g.sub(c, x_id).unwrap();
+            let sq = g.square(d);
+            let loss = g.mean_all(sq).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_through_shared_node() {
+        // x used twice: y = x ⊙ x; gradient must accumulate both paths.
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let prod = g.mul(x_id, x_id).unwrap();
+            let loss = g.mean_all(prod).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn grad_slice_cols() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let mid = g.slice_cols(x_id, 1, 2).unwrap();
+            let sq = g.square(mid);
+            let loss = g.mean_all(sq).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn slice_cols_bounds_and_values() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap());
+        let s = g.slice_cols(x, 1, 2).unwrap();
+        assert_eq!(g.value(s).as_slice(), &[2.0, 3.0, 5.0, 6.0]);
+        assert!(g.slice_cols(x, 2, 2).is_err());
+        assert!(g.slice_cols(x, 0, 0).is_err());
+    }
+
+    #[test]
+    fn grad_row_softmax() {
+        grad_check(leaf_2x3(), |g, x| {
+            let x_id = g.leaf(x);
+            let sm = g.row_softmax(x_id);
+            let weights =
+                g.leaf(Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 0.3, 2.0, -1.0]).unwrap());
+            let weighted = g.mul(sm, weights).unwrap();
+            let loss = g.mean_all(weighted).unwrap();
+            (x_id, loss)
+        });
+    }
+
+    #[test]
+    fn row_softmax_rows_are_distributions() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]).unwrap());
+        let sm = g.row_softmax(x);
+        let v = g.value(sm);
+        for r in 0..2 {
+            let sum: f64 = v.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(v.row(r).iter().all(|&p| p > 0.0));
+        }
+        // Larger logits get larger mass.
+        assert!(v.get(0, 2) > v.get(0, 1));
+        // Extreme logits are handled without overflow.
+        let mut g2 = Graph::new();
+        let x2 = g2.leaf(Matrix::row_vector(&[1000.0, 999.0]));
+        let sm2 = g2.row_softmax(x2);
+        assert!(g2.value(sm2).is_finite());
+    }
+
+    #[test]
+    fn dropout_mask_scales_forward_and_backward() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(2, 2, 3.0));
+        let mask = Matrix::from_vec(2, 2, vec![2.0, 0.0, 2.0, 0.0]).unwrap();
+        let d = g.dropout(x, mask).unwrap();
+        assert_eq!(g.value(d).as_slice(), &[6.0, 0.0, 6.0, 0.0]);
+        let loss = g.mean_all(d).unwrap();
+        g.backward(loss).unwrap();
+        let grad = g.grad(x).unwrap();
+        assert_eq!(grad.as_slice(), &[0.5, 0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn backward_rejects_non_scalar_loss() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(2, 2, 1.0));
+        assert!(g.backward(x).is_err());
+    }
+
+    #[test]
+    fn unreached_nodes_have_no_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(1, 1, 1.0));
+        let unrelated = g.leaf(Matrix::filled(1, 1, 5.0));
+        let loss = g.mean_all(x).unwrap();
+        g.backward(loss).unwrap();
+        assert!(g.grad(unrelated).is_none());
+        assert!(g.grad(x).is_some());
+    }
+
+    #[test]
+    fn concat_rejects_empty_and_mismatched() {
+        let mut g = Graph::new();
+        assert!(g.concat_cols(&[]).is_err());
+        let a = g.leaf(Matrix::zeros(2, 2));
+        let b = g.leaf(Matrix::zeros(3, 2));
+        assert!(g.concat_cols(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn repeated_backward_resets_gradients() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(1, 2, 2.0));
+        let sq = g.square(x);
+        let loss = g.mean_all(sq).unwrap();
+        g.backward(loss).unwrap();
+        let first = g.grad(x).unwrap().clone();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap(), &first);
+    }
+}

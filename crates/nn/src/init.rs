@@ -1,0 +1,71 @@
+//! Weight initialisers.
+//!
+//! Xavier/Glorot uniform for sigmoid/tanh layers, He for ReLU layers, and a
+//! small-uniform initialiser for embedding tables (the paper initialises
+//! the dimension-10 embeddings randomly before training, §3.1). All take an
+//! explicit RNG so experiments are reproducible run-to-run.
+
+use env2vec_linalg::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-l, l)` with
+/// `l = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// He (Kaiming) uniform initialisation for ReLU layers: `U(-l, l)` with
+/// `l = sqrt(6 / fan_in)`.
+pub fn he_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Small uniform initialisation `U(-scale, scale)`, used for embedding
+/// tables.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, scale: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit_and_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 8, 4);
+        assert_eq!(w.shape(), (8, 4));
+        let limit = (6.0 / 12.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|x| x.abs() < limit));
+    }
+
+    #[test]
+    fn he_limit_wider_than_xavier_for_same_fans() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rng.gen::<f64>();
+        let he_limit = (6.0 / 8.0f64).sqrt();
+        let w = he_uniform(&mut rng, 8, 4);
+        assert!(w.as_slice().iter().all(|x| x.abs() < he_limit));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(42), 3, 3);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(42), 3, 3);
+        assert_eq!(a, b);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(43), 3, 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_scale_bounds() {
+        let w = uniform(&mut StdRng::seed_from_u64(1), 5, 10, 0.05);
+        assert!(w.as_slice().iter().all(|x| x.abs() < 0.05));
+        // Not all zero: the initialiser must actually randomise.
+        assert!(w.as_slice().iter().any(|&x| x != 0.0));
+    }
+}

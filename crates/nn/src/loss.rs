@@ -1,0 +1,93 @@
+//! Loss and accuracy metrics on plain slices.
+//!
+//! The graph-level MSE lives on [`crate::Graph::mse`]; these slice versions
+//! are what the evaluation harness uses to score *test-set* predictions
+//! (paper §4.1.2: "We use Mean Absolute Error and Mean Squared Error as
+//! target evaluation metrics").
+
+use env2vec_linalg::{Error, Result};
+
+/// Mean squared error between predictions and targets.
+///
+/// Returns an error on length mismatch or empty input.
+pub fn mse(pred: &[f64], target: &[f64]) -> Result<f64> {
+    check(pred, target, "mse")?;
+    let n = pred.len() as f64;
+    Ok(pred
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n)
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// Returns an error on length mismatch or empty input.
+pub fn mae(pred: &[f64], target: &[f64]) -> Result<f64> {
+    check(pred, target, "mae")?;
+    let n = pred.len() as f64;
+    Ok(pred
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n)
+}
+
+/// Root mean squared error.
+///
+/// Returns an error on length mismatch or empty input.
+pub fn rmse(pred: &[f64], target: &[f64]) -> Result<f64> {
+    Ok(mse(pred, target)?.sqrt())
+}
+
+fn check(pred: &[f64], target: &[f64], op: &'static str) -> Result<()> {
+    if pred.len() != target.len() {
+        return Err(Error::ShapeMismatch {
+            op: "loss",
+            lhs: (pred.len(), 1),
+            rhs: (target.len(), 1),
+        });
+    }
+    if pred.is_empty() {
+        return Err(Error::Empty { routine: op });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_mae_known_values() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 4.0, 2.0];
+        assert!((mse(&p, &t).unwrap() - (0.0 + 4.0 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&p, &t).unwrap() - (0.0 + 2.0 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((rmse(&p, &t).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let p = [1.0, -2.0, 0.5];
+        assert_eq!(mse(&p, &p).unwrap(), 0.0);
+        assert_eq!(mae(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mae(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mse_dominated_by_outliers_vs_mae() {
+        // One large error: MSE penalises quadratically, MAE linearly.
+        let t = [0.0, 0.0, 0.0, 0.0];
+        let p = [0.0, 0.0, 0.0, 10.0];
+        assert_eq!(mae(&p, &t).unwrap(), 2.5);
+        assert_eq!(mse(&p, &t).unwrap(), 25.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Gradient-descent optimisers.
+//!
+//! The paper trains Env2Vec with the Adam update rule (Kingma & Ba 2014,
+//! its reference \[25\]) on an MSE loss (Appendix A.1). Plain SGD is kept as
+//! a simple, dependable fallback and for tests.
+
+use env2vec_linalg::{Error, Matrix, Result};
+
+use crate::params::ParamSet;
+
+/// An optimiser consumes per-parameter gradients and updates a
+/// [`ParamSet`] in place.
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// `grads` must be parallel to the parameter set (one matrix per
+    /// parameter, matching shapes); returns an error otherwise.
+    fn step(&mut self, params: &mut ParamSet, grads: &[Matrix]) -> Result<()>;
+}
+
+fn check_grads(params: &ParamSet, grads: &[Matrix]) -> Result<()> {
+    if grads.len() != params.len() {
+        return Err(Error::ShapeMismatch {
+            op: "optimizer step",
+            lhs: (params.len(), 1),
+            rhs: (grads.len(), 1),
+        });
+    }
+    for ((_, _, value), grad) in params.iter().zip(grads) {
+        if value.shape() != grad.shape() {
+            return Err(Error::ShapeMismatch {
+                op: "optimizer step",
+                lhs: value.shape(),
+                rhs: grad.shape(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Stochastic gradient descent with a fixed learning rate.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(learning_rate: f64) -> Self {
+        Sgd { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, grads: &[Matrix]) -> Result<()> {
+        check_grads(params, grads)?;
+        let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
+        for (id, grad) in ids.into_iter().zip(grads) {
+            params.value_mut(id).axpy(-self.learning_rate, grad)?;
+        }
+        Ok(())
+    }
+}
+
+/// Adam optimiser (Kingma & Ba 2014) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (`α`), default `1e-3`.
+    pub learning_rate: f64,
+    /// First-moment decay (`β₁`), default `0.9`.
+    pub beta1: f64,
+    /// Second-moment decay (`β₂`), default `0.999`.
+    pub beta2: f64,
+    /// Numerical-stability constant (`ε`), default `1e-8`.
+    pub epsilon: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the canonical defaults and the given
+    /// learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn ensure_state(&mut self, params: &ParamSet) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|(_, _, v)| Matrix::zeros(v.rows(), v.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, grads: &[Matrix]) -> Result<()> {
+        check_grads(params, grads)?;
+        self.ensure_state(params);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = params.iter().map(|(id, _, _)| id).collect();
+        for ((id, grad), (m, v)) in ids
+            .into_iter()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let value = params.value_mut(id);
+            for ((w, &g), (mi, vi)) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: loss = Σ (w - target)², gradient = 2 (w - target).
+    fn quad_grad(params: &ParamSet, target: f64) -> Vec<Matrix> {
+        params
+            .iter()
+            .map(|(_, _, v)| v.map(|x| 2.0 * (x - target)))
+            .collect()
+    }
+
+    fn bowl_params() -> ParamSet {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::filled(2, 2, 5.0)).unwrap();
+        ps
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut ps = bowl_params();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let grads = quad_grad(&ps, 1.0);
+            opt.step(&mut ps, &grads).unwrap();
+        }
+        let id = ps.find("w").unwrap();
+        assert!((ps.value(id).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut ps = bowl_params();
+        let mut opt = Adam::new(0.05);
+        for _ in 0..2000 {
+            let grads = quad_grad(&ps, -2.0);
+            opt.step(&mut ps, &grads).unwrap();
+        }
+        let id = ps.find("w").unwrap();
+        assert!((ps.value(id).get(1, 1) + 2.0).abs() < 1e-3);
+        assert_eq!(opt.steps(), 2000);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_learning_rate() {
+        // With bias correction, the very first Adam step has magnitude ≈ α
+        // regardless of gradient scale.
+        let mut ps = bowl_params();
+        let before = ps.value(ps.find("w").unwrap()).get(0, 0);
+        let mut opt = Adam::new(0.01);
+        let grads = quad_grad(&ps, 0.0);
+        opt.step(&mut ps, &grads).unwrap();
+        let after = ps.value(ps.find("w").unwrap()).get(0, 0);
+        assert!(((before - after) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_rejects_mismatched_grads() {
+        let mut ps = bowl_params();
+        let mut sgd = Sgd::new(0.1);
+        assert!(sgd.step(&mut ps, &[]).is_err());
+        assert!(sgd.step(&mut ps, &[Matrix::zeros(1, 1)]).is_err());
+        let mut adam = Adam::new(0.1);
+        assert!(adam.step(&mut ps, &[Matrix::zeros(3, 3)]).is_err());
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point_for_sgd() {
+        let mut ps = bowl_params();
+        let before = ps.value(ps.find("w").unwrap()).clone();
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut ps, &[Matrix::zeros(2, 2)]).unwrap();
+        assert_eq!(ps.value(ps.find("w").unwrap()), &before);
+    }
+}

@@ -1,0 +1,252 @@
+//! Named trainable parameters.
+//!
+//! A [`ParamSet`] owns the persistent weights of a model. Each training
+//! step *binds* the set into a fresh [`Graph`] — producing a
+//! [`Bound`] mapping of parameter to leaf node — runs forward/backward, and
+//! then reads the leaf gradients back out for the optimiser.
+//!
+//! The paper stores its trained model as "a file containing the environment
+//! embeddings and the DL model" (§6); [`ParamSet`] round-trips through
+//! serde for the same purpose.
+
+use env2vec_linalg::{Error, Matrix, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+
+/// Identifier of a parameter within one [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// Raw index of the parameter.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A collection of named trainable matrices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its id.
+    ///
+    /// Names are for diagnostics and serialisation sanity; duplicates are
+    /// rejected so serialised models stay unambiguous.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> Result<ParamId> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(Error::InvalidArgument {
+                what: "duplicate parameter name",
+            });
+        }
+        self.names.push(name);
+        self.values.push(value);
+        Ok(ParamId(self.values.len() - 1))
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Immutable view of a parameter's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this set.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable view of a parameter's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this set.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Name of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this set.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Iterates over `(id, name, value)` triples in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.names
+            .iter()
+            .zip(&self.values)
+            .enumerate()
+            .map(|(i, (n, v))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// Binds every parameter into `graph` as a leaf, returning the mapping.
+    pub fn bind(&self, graph: &mut Graph) -> Bound {
+        let ids = self.values.iter().map(|v| graph.leaf(v.clone())).collect();
+        Bound { ids }
+    }
+
+    /// Collects the gradient of every parameter from a graph after
+    /// [`Graph::backward`]; parameters the loss does not reach get zeros.
+    ///
+    /// Returns an error when `bound` does not match this set's size.
+    pub fn gradients(&self, graph: &Graph, bound: &Bound) -> Result<Vec<Matrix>> {
+        if bound.ids.len() != self.values.len() {
+            return Err(Error::ShapeMismatch {
+                op: "gradients",
+                lhs: (self.values.len(), 1),
+                rhs: (bound.ids.len(), 1),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&bound.ids)
+            .map(|(v, &id)| {
+                graph
+                    .grad(id)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(v.rows(), v.cols()))
+            })
+            .collect())
+    }
+
+    /// Serialises the set to JSON (the model file format of this repo).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamSet serialises infallibly")
+    }
+
+    /// Deserialises a set previously written by [`ParamSet::to_json`].
+    ///
+    /// Returns an error when the JSON is malformed.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|_| Error::InvalidArgument {
+            what: "malformed ParamSet JSON",
+        })
+    }
+}
+
+/// Parameter-to-leaf mapping produced by [`ParamSet::bind`].
+#[derive(Debug, Clone)]
+pub struct Bound {
+    ids: Vec<NodeId>,
+}
+
+impl Bound {
+    /// Graph node bound to the given parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to the originating set.
+    pub fn node(&self, id: ParamId) -> NodeId {
+        self.ids[id.0]
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_find_and_duplicate_rejection() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::zeros(2, 3)).unwrap();
+        assert_eq!(ps.name(w), "w");
+        assert_eq!(ps.find("w"), Some(w));
+        assert_eq!(ps.find("missing"), None);
+        assert!(ps.add("w", Matrix::zeros(1, 1)).is_err());
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_weights(), 6);
+    }
+
+    #[test]
+    fn bind_and_collect_gradients() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::filled(1, 2, 2.0)).unwrap();
+        let unused = ps.add("unused", Matrix::zeros(3, 3)).unwrap();
+
+        let mut g = Graph::new();
+        let bound = ps.bind(&mut g);
+        let sq = g.square(bound.node(w));
+        let loss = g.mean_all(sq).unwrap();
+        g.backward(loss).unwrap();
+
+        let grads = ps.gradients(&g, &bound).unwrap();
+        // d/dw mean(w²) = 2w / n = 2·2/2 = 2.
+        assert_eq!(grads[w.index()].as_slice(), &[2.0, 2.0]);
+        // Unused parameter gets explicit zeros.
+        assert_eq!(grads[unused.index()], Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut ps = ParamSet::new();
+        ps.add("a", Matrix::from_vec(1, 2, vec![1.5, -2.5]).unwrap())
+            .unwrap();
+        ps.add("b", Matrix::identity(2)).unwrap();
+        let json = ps.to_json();
+        let back = ParamSet::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        let a = back.find("a").unwrap();
+        assert_eq!(back.value(a).as_slice(), &[1.5, -2.5]);
+        assert!(ParamSet::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut ps = ParamSet::new();
+        ps.add("first", Matrix::zeros(1, 1)).unwrap();
+        ps.add("second", Matrix::zeros(1, 1)).unwrap();
+        let names: Vec<&str> = ps.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn gradients_rejects_foreign_bound() {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::zeros(1, 1)).unwrap();
+        let g = Graph::new();
+        let foreign = Bound { ids: vec![] };
+        assert!(ps.gradients(&g, &foreign).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Mini-batching and early stopping.
+//!
+//! The paper regularises with dropout plus "an early stopping strategy,
+//! which stops the training if there is no improvement on a validation
+//! set" (Appendix A.1). [`EarlyStopping`] implements that rule with a
+//! patience window and best-weights restoration; [`shuffled_batches`]
+//! provides seeded mini-batch index sets so training is reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::params::ParamSet;
+
+/// Splits `0..n` into shuffled mini-batches of at most `batch_size`.
+///
+/// An empty dataset yields no batches; `batch_size == 0` is treated as one
+/// full batch.
+pub fn shuffled_batches(n: usize, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let batch_size = if batch_size == 0 { n } else { batch_size };
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    idx.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+/// Early-stopping monitor with best-weights checkpointing.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best_loss: f64,
+    best_params: Option<ParamSet>,
+    epochs_without_improvement: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a monitor that stops after `patience` consecutive epochs
+    /// without the validation loss improving by at least `min_delta`.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        EarlyStopping {
+            patience,
+            min_delta,
+            best_loss: f64::INFINITY,
+            best_params: None,
+            epochs_without_improvement: 0,
+        }
+    }
+
+    /// Records one epoch's validation loss; returns `true` when training
+    /// should stop.
+    ///
+    /// The parameter snapshot accompanying the best loss so far is kept for
+    /// [`EarlyStopping::best`].
+    pub fn observe(&mut self, val_loss: f64, params: &ParamSet) -> bool {
+        if val_loss < self.best_loss - self.min_delta {
+            self.best_loss = val_loss;
+            self.best_params = Some(params.clone());
+            self.epochs_without_improvement = 0;
+        } else {
+            self.epochs_without_improvement += 1;
+        }
+        self.epochs_without_improvement >= self.patience
+    }
+
+    /// Best validation loss seen so far (`+inf` before the first epoch).
+    pub fn best_loss(&self) -> f64 {
+        self.best_loss
+    }
+
+    /// The parameter snapshot from the best epoch, if any epoch has been
+    /// observed.
+    pub fn best(&self) -> Option<&ParamSet> {
+        self.best_params.as_ref()
+    }
+
+    /// Consumes the monitor, returning the best snapshot (falling back to
+    /// `current` when no epoch was observed).
+    pub fn into_best(self, current: ParamSet) -> ParamSet {
+        self.best_params.unwrap_or(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_linalg::Matrix;
+
+    #[test]
+    fn batches_cover_all_indices_exactly_once() {
+        let batches = shuffled_batches(10, 3, 42);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Last batch is the remainder.
+        assert_eq!(batches.last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batches_deterministic_per_seed() {
+        assert_eq!(shuffled_batches(20, 4, 7), shuffled_batches(20, 4, 7));
+        assert_ne!(shuffled_batches(20, 4, 7), shuffled_batches(20, 4, 8));
+    }
+
+    #[test]
+    fn zero_batch_size_is_full_batch_and_empty_is_empty() {
+        let b = shuffled_batches(5, 0, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].len(), 5);
+        assert!(shuffled_batches(0, 4, 1).is_empty());
+    }
+
+    fn params_with(v: f64) -> ParamSet {
+        let mut ps = ParamSet::new();
+        ps.add("w", Matrix::filled(1, 1, v)).unwrap();
+        ps
+    }
+
+    #[test]
+    fn stops_after_patience_and_restores_best() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.observe(1.0, &params_with(1.0)));
+        assert!(!es.observe(0.5, &params_with(2.0))); // best epoch
+        assert!(!es.observe(0.6, &params_with(3.0))); // 1 bad epoch
+        assert!(es.observe(0.7, &params_with(4.0))); // 2 bad epochs → stop
+        assert_eq!(es.best_loss(), 0.5);
+        let best = es.into_best(params_with(99.0));
+        assert_eq!(best.value(best.find("w").unwrap()).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let mut es = EarlyStopping::new(1, 0.1);
+        assert!(!es.observe(1.0, &params_with(1.0)));
+        // 0.95 improves by less than min_delta → counts as no improvement.
+        assert!(es.observe(0.95, &params_with(2.0)));
+        assert_eq!(es.best_loss(), 1.0);
+    }
+
+    #[test]
+    fn into_best_falls_back_to_current() {
+        let es = EarlyStopping::new(3, 0.0);
+        let fallback = es.into_best(params_with(7.0));
+        assert_eq!(fallback.value(fallback.find("w").unwrap()).get(0, 0), 7.0);
+    }
+}

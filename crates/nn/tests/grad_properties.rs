@@ -1,0 +1,138 @@
+//! Property-based gradient checks: randomly composed graphs must match
+//! central finite differences.
+
+use env2vec_linalg::Matrix;
+use env2vec_nn::graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// A small op palette applied in sequence to a 2x3 input.
+#[derive(Debug, Clone, Copy)]
+enum UnaryOp {
+    Sigmoid,
+    Tanh,
+    Square,
+    Scale,
+    AddScalar,
+    Softmax,
+}
+
+fn apply(graph: &mut Graph, x: NodeId, op: UnaryOp) -> NodeId {
+    match op {
+        UnaryOp::Sigmoid => graph.sigmoid(x),
+        UnaryOp::Tanh => graph.tanh(x),
+        UnaryOp::Square => graph.square(x),
+        UnaryOp::Scale => graph.scale(x, 0.7),
+        UnaryOp::AddScalar => graph.add_scalar(x, 0.3),
+        UnaryOp::Softmax => graph.row_softmax(x),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Sigmoid),
+        Just(UnaryOp::Tanh),
+        Just(UnaryOp::Square),
+        Just(UnaryOp::Scale),
+        Just(UnaryOp::AddScalar),
+        Just(UnaryOp::Softmax),
+    ]
+}
+
+/// Builds loss = mean(chain(x)) and compares autodiff vs finite diff.
+fn check_chain(data: &[f64], ops: &[UnaryOp]) -> Result<(), TestCaseError> {
+    let leaf = Matrix::from_vec(2, 3, data.to_vec()).expect("sized");
+    let build = |g: &mut Graph, value: Matrix| -> (NodeId, NodeId) {
+        let x = g.leaf(value);
+        let mut cur = x;
+        for &op in ops {
+            cur = apply(g, cur, op);
+        }
+        let loss = g.mean_all(cur).expect("non-empty");
+        (x, loss)
+    };
+
+    let mut g = Graph::new();
+    let (x, loss) = build(&mut g, leaf.clone());
+    g.backward(loss).expect("scalar loss");
+    let analytic = g.grad(x).expect("reached").clone();
+
+    let eps = 1e-5;
+    for i in 0..2 {
+        for j in 0..3 {
+            let mut plus = leaf.clone();
+            plus.set(i, j, leaf.get(i, j) + eps);
+            let mut minus = leaf.clone();
+            minus.set(i, j, leaf.get(i, j) - eps);
+            let mut gp = Graph::new();
+            let (_, lp) = build(&mut gp, plus);
+            let mut gm = Graph::new();
+            let (_, lm) = build(&mut gm, minus);
+            let numeric = (gp.value(lp).get(0, 0) - gm.value(lm).get(0, 0)) / (2.0 * eps);
+            let got = analytic.get(i, j);
+            prop_assert!(
+                (numeric - got).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "ops {ops:?} at ({i},{j}): numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random chains of smooth unary ops gradient-check.
+    #[test]
+    fn random_unary_chains_gradcheck(
+        data in proptest::collection::vec(-1.5f64..1.5, 6),
+        ops in proptest::collection::vec(op_strategy(), 1..5),
+    ) {
+        check_chain(&data, &ops)?;
+    }
+
+}
+
+/// Binary composition with a shared input — loss = mean((x ⊙ c + x)²) —
+/// gradient-checked at fixed points (gradient accumulation across both
+/// uses of `x` must be exact).
+#[test]
+fn shared_input_binary_gradcheck_concrete() {
+    let cases = [
+        vec![0.5, -1.0, 0.3, 0.9, -0.2, 0.1],
+        vec![-0.8, 0.4, 0.0, 1.2, -1.1, 0.6],
+    ];
+    for data in cases {
+        let leaf = Matrix::from_vec(2, 3, data).expect("sized");
+        let build = |g: &mut Graph, value: Matrix| -> (NodeId, NodeId) {
+            let x = g.leaf(value);
+            let c = g.leaf(
+                Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.0, 0.25, -0.75]).expect("sized"),
+            );
+            let prod = g.mul(x, c).expect("same shape");
+            let sum = g.add(prod, x).expect("same shape");
+            let sq = g.square(sum);
+            let loss = g.mean_all(sq).expect("non-empty");
+            (x, loss)
+        };
+        let mut g = Graph::new();
+        let (x, loss) = build(&mut g, leaf.clone());
+        g.backward(loss).expect("scalar");
+        let analytic = g.grad(x).expect("reached").clone();
+        let eps = 1e-5;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut plus = leaf.clone();
+                plus.set(i, j, leaf.get(i, j) + eps);
+                let mut minus = leaf.clone();
+                minus.set(i, j, leaf.get(i, j) - eps);
+                let mut gp = Graph::new();
+                let (_, lp) = build(&mut gp, plus);
+                let mut gm = Graph::new();
+                let (_, lm) = build(&mut gm, minus);
+                let numeric = (gp.value(lp).get(0, 0) - gm.value(lm).get(0, 0)) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.get(i, j)).abs() < 1e-6 * (1.0 + numeric.abs()),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Service-discovery records.
+//!
+//! §3 step 1 of the paper: "When a new test case is executed, we modify a
+//! service discovery configuration JSON file for Prometheus, appending the
+//! endpoint for the metric collector along with a reference to the EM
+//! labels: `[..., {"targets": ["IP:PORT"], "labels":
+//! {"env":"EM_record_id"}}]`". This module reproduces exactly that file
+//! format, so a test-case execution registers its collector endpoint and
+//! environment record before metrics start flowing.
+
+use serde::{Deserialize, Serialize};
+
+/// One scrape-target entry, in Prometheus `file_sd` shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrapeTarget {
+    /// Collector endpoints, e.g. `10.0.0.7:9100`.
+    pub targets: Vec<String>,
+    /// Labels attached to every series scraped from these targets; the
+    /// workflow stores the EM record id under `env`.
+    pub labels: std::collections::BTreeMap<String, String>,
+}
+
+impl ScrapeTarget {
+    /// Creates a single-endpoint target carrying an `env` record id.
+    pub fn for_env(endpoint: impl Into<String>, em_record_id: impl Into<String>) -> Self {
+        let mut labels = std::collections::BTreeMap::new();
+        labels.insert("env".to_string(), em_record_id.into());
+        ScrapeTarget {
+            targets: vec![endpoint.into()],
+            labels,
+        }
+    }
+
+    /// The `env` label (EM record id), if present.
+    pub fn env(&self) -> Option<&str> {
+        self.labels.get("env").map(String::as_str)
+    }
+}
+
+/// The service-discovery configuration: an ordered list of scrape targets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ServiceDiscovery {
+    entries: Vec<ScrapeTarget>,
+}
+
+impl ServiceDiscovery {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a target (the paper's "appending the endpoint" step).
+    pub fn register(&mut self, target: ScrapeTarget) {
+        self.entries.push(target);
+    }
+
+    /// Removes every target carrying the given `env` record id, returning
+    /// how many were removed (test-case teardown).
+    pub fn deregister_env(&mut self, em_record_id: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|t| t.env() != Some(em_record_id));
+        before - self.entries.len()
+    }
+
+    /// All registered targets.
+    pub fn targets(&self) -> &[ScrapeTarget] {
+        &self.entries
+    }
+
+    /// Serialises to the Prometheus `file_sd` JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.entries).expect("serialisable")
+    }
+
+    /// Parses a `file_sd` JSON document.
+    ///
+    /// Returns `None` when the document is malformed.
+    pub fn from_json(s: &str) -> Option<Self> {
+        serde_json::from_str::<Vec<ScrapeTarget>>(s)
+            .ok()
+            .map(|entries| ServiceDiscovery { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut sd = ServiceDiscovery::new();
+        sd.register(ScrapeTarget::for_env("10.0.0.7:9100", "EM_0042"));
+        sd.register(ScrapeTarget::for_env("10.0.0.8:9100", "EM_0043"));
+        assert_eq!(sd.targets().len(), 2);
+        assert_eq!(sd.targets()[0].env(), Some("EM_0042"));
+    }
+
+    #[test]
+    fn deregister_by_env() {
+        let mut sd = ServiceDiscovery::new();
+        sd.register(ScrapeTarget::for_env("a:1", "EM_1"));
+        sd.register(ScrapeTarget::for_env("b:1", "EM_2"));
+        sd.register(ScrapeTarget::for_env("c:1", "EM_1"));
+        assert_eq!(sd.deregister_env("EM_1"), 2);
+        assert_eq!(sd.targets().len(), 1);
+        assert_eq!(sd.deregister_env("EM_1"), 0);
+    }
+
+    #[test]
+    fn json_matches_paper_shape() {
+        let mut sd = ServiceDiscovery::new();
+        sd.register(ScrapeTarget::for_env("IP:PORT", "EM_record_id"));
+        let json = sd.to_json();
+        // The structure from §3 step 1.
+        assert!(json.contains("\"targets\""));
+        assert!(json.contains("\"IP:PORT\""));
+        assert!(json.contains("\"env\": \"EM_record_id\""));
+        let back = ServiceDiscovery::from_json(&json).unwrap();
+        assert_eq!(back, sd);
+    }
+
+    #[test]
+    fn parses_hand_written_config() {
+        let doc = r#"[{"targets": ["10.1.2.3:9100"], "labels": {"env": "EM_7"}}]"#;
+        let sd = ServiceDiscovery::from_json(doc).unwrap();
+        assert_eq!(sd.targets()[0].env(), Some("EM_7"));
+        assert!(ServiceDiscovery::from_json("nonsense").is_none());
+    }
+}

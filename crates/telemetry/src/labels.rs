@@ -1,0 +1,184 @@
+//! Label sets and matchers (the Prometheus data model).
+//!
+//! A time series is identified by its metric name plus a [`LabelSet`] —
+//! sorted `key=value` pairs. Queries select series with [`LabelMatcher`]s.
+//! In the paper's workflow the critical label is `env`, the environment-
+//! metadata record id linking every sample to its testbed/SUT/test-case/
+//! build tuple.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted set of `key=value` labels.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LabelSet {
+    labels: BTreeMap<String, String>,
+}
+
+impl LabelSet {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+
+    /// Inserts or replaces a label.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.labels.insert(key.into(), value.into());
+    }
+
+    /// Value of a label, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(String::as_str)
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Whether this set satisfies every matcher.
+    pub fn matches(&self, matchers: &[LabelMatcher]) -> bool {
+        matchers.iter().all(|m| m.matches(self))
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}=\"{v}\"")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A selector over label sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelMatcher {
+    /// Label must exist and equal the value.
+    Eq(String, String),
+    /// Label must be absent or differ from the value.
+    NotEq(String, String),
+    /// Label must exist and be one of the values.
+    In(String, Vec<String>),
+}
+
+impl LabelMatcher {
+    /// Convenience constructor for equality matching.
+    pub fn eq(key: impl Into<String>, value: impl Into<String>) -> Self {
+        LabelMatcher::Eq(key.into(), value.into())
+    }
+
+    /// Whether a label set satisfies this matcher.
+    pub fn matches(&self, labels: &LabelSet) -> bool {
+        match self {
+            LabelMatcher::Eq(k, v) => labels.get(k) == Some(v.as_str()),
+            LabelMatcher::NotEq(k, v) => labels.get(k) != Some(v.as_str()),
+            LabelMatcher::In(k, vs) => labels
+                .get(k)
+                .map(|actual| vs.iter().any(|v| v == actual))
+                .unwrap_or(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_labels() -> LabelSet {
+        LabelSet::new()
+            .with("env", "EM_0042")
+            .with("testbed", "Testbed_13")
+            .with("metric_kind", "cpu")
+    }
+
+    #[test]
+    fn get_set_and_len() {
+        let mut ls = sample_labels();
+        assert_eq!(ls.get("env"), Some("EM_0042"));
+        assert_eq!(ls.get("missing"), None);
+        assert_eq!(ls.len(), 3);
+        ls.set("env", "EM_0001");
+        assert_eq!(ls.get("env"), Some("EM_0001"));
+        assert_eq!(ls.len(), 3);
+    }
+
+    #[test]
+    fn display_is_sorted_prometheus_style() {
+        let ls = LabelSet::new().with("b", "2").with("a", "1");
+        assert_eq!(ls.to_string(), "{a=\"1\",b=\"2\"}");
+        assert_eq!(LabelSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn eq_and_noteq_matchers() {
+        let ls = sample_labels();
+        assert!(LabelMatcher::eq("env", "EM_0042").matches(&ls));
+        assert!(!LabelMatcher::eq("env", "other").matches(&ls));
+        assert!(!LabelMatcher::eq("absent", "x").matches(&ls));
+        assert!(LabelMatcher::NotEq("env".into(), "other".into()).matches(&ls));
+        assert!(!LabelMatcher::NotEq("env".into(), "EM_0042".into()).matches(&ls));
+        // NotEq matches when the label is absent.
+        assert!(LabelMatcher::NotEq("absent".into(), "x".into()).matches(&ls));
+    }
+
+    #[test]
+    fn in_matcher() {
+        let ls = sample_labels();
+        let m = LabelMatcher::In(
+            "testbed".into(),
+            vec!["Testbed_12".into(), "Testbed_13".into()],
+        );
+        assert!(m.matches(&ls));
+        let m2 = LabelMatcher::In("testbed".into(), vec!["Testbed_01".into()]);
+        assert!(!m2.matches(&ls));
+        let m3 = LabelMatcher::In("absent".into(), vec!["x".into()]);
+        assert!(!m3.matches(&ls));
+    }
+
+    #[test]
+    fn matches_all_requires_every_matcher() {
+        let ls = sample_labels();
+        let ms = vec![
+            LabelMatcher::eq("env", "EM_0042"),
+            LabelMatcher::eq("metric_kind", "cpu"),
+        ];
+        assert!(ls.matches(&ms));
+        let bad = vec![
+            LabelMatcher::eq("env", "EM_0042"),
+            LabelMatcher::eq("metric_kind", "memory"),
+        ];
+        assert!(!ls.matches(&bad));
+        assert!(ls.matches(&[]));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ls = sample_labels();
+        let json = serde_json::to_string(&ls).unwrap();
+        let back: LabelSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(ls, back);
+    }
+}

@@ -1,0 +1,122 @@
+//! Versioned model registry — the HTTP model server stand-in.
+//!
+//! §3 step 5: "The Env2Vec prediction pipeline fetches the latest model
+//! (essentially a weight matrix), before beginning execution, from the
+//! training pipeline HTTP server." The training pipeline publishes
+//! serialised model blobs here; prediction pipelines fetch the latest
+//! version. Blobs are opaque bytes so the registry does not depend on any
+//! model crate.
+
+use parking_lot::RwLock;
+
+/// One published model version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Monotonically increasing version number (1-based).
+    pub version: u64,
+    /// Human-readable tag, e.g. the training date.
+    pub tag: String,
+    /// Serialised model bytes.
+    pub blob: Vec<u8>,
+}
+
+/// Concurrent, append-only model registry.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    inner: RwLock<Vec<ModelVersion>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a model blob, returning the assigned version number.
+    pub fn publish(&self, tag: impl Into<String>, blob: Vec<u8>) -> u64 {
+        let mut inner = self.inner.write();
+        let version = inner.len() as u64 + 1;
+        inner.push(ModelVersion {
+            version,
+            tag: tag.into(),
+            blob,
+        });
+        version
+    }
+
+    /// The most recently published model, if any (the "fetch latest" of
+    /// §3 step 5).
+    pub fn latest(&self) -> Option<ModelVersion> {
+        self.inner.read().last().cloned()
+    }
+
+    /// A specific version (1-based), if it exists.
+    pub fn get(&self, version: u64) -> Option<ModelVersion> {
+        let inner = self.inner.read();
+        if version == 0 || version as usize > inner.len() {
+            return None;
+        }
+        Some(inner[version as usize - 1].clone())
+    }
+
+    /// Number of published versions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether no model has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_fetch_latest() {
+        let reg = ModelRegistry::new();
+        assert!(reg.latest().is_none());
+        assert!(reg.is_empty());
+        let v1 = reg.publish("2020-04-27", vec![1, 2, 3]);
+        let v2 = reg.publish("2020-04-28", vec![4, 5]);
+        assert_eq!((v1, v2), (1, 2));
+        let latest = reg.latest().unwrap();
+        assert_eq!(latest.version, 2);
+        assert_eq!(latest.blob, vec![4, 5]);
+        assert_eq!(latest.tag, "2020-04-28");
+    }
+
+    #[test]
+    fn get_specific_versions() {
+        let reg = ModelRegistry::new();
+        reg.publish("a", vec![1]);
+        reg.publish("b", vec![2]);
+        assert_eq!(reg.get(1).unwrap().blob, vec![1]);
+        assert_eq!(reg.get(2).unwrap().tag, "b");
+        assert!(reg.get(0).is_none());
+        assert!(reg.get(3).is_none());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_publishes_get_distinct_versions() {
+        use std::sync::Arc;
+        let reg = Arc::new(ModelRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    reg.publish("t", vec![0]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.len(), 200);
+        assert_eq!(reg.latest().unwrap().version, 200);
+    }
+}

@@ -1,0 +1,432 @@
+//! Label-indexed in-memory time-series database.
+//!
+//! The Prometheus stand-in: series are keyed by metric name plus label
+//! set, samples are `(timestamp, value)` pairs kept in time order, and
+//! queries select by matchers with instant (latest-at-or-before) or range
+//! semantics. Interior locking makes one database shareable between the
+//! metric collector and the prediction pipeline, mirroring the paper's
+//! workflow where both sides talk to the same Prometheus.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::labels::{LabelMatcher, LabelSet};
+
+/// One observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Unix-style timestamp (the generators use timestep indices).
+    pub timestamp: i64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Identity of one series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SeriesKey {
+    metric: String,
+    labels: LabelSet,
+}
+
+/// A queryable series (metric, labels, samples).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Metric name.
+    pub metric: String,
+    /// Label set identifying the series.
+    pub labels: LabelSet,
+    /// Samples in ascending time order.
+    pub samples: Vec<Sample>,
+}
+
+/// An in-memory TSDB safe for concurrent writers and readers.
+#[derive(Debug, Default)]
+pub struct TimeSeriesDb {
+    inner: RwLock<HashMap<SeriesKey, Vec<Sample>>>,
+}
+
+impl TimeSeriesDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to the series `(metric, labels)`, creating it on
+    /// first write. Samples may arrive slightly out of order; the series
+    /// is kept sorted by timestamp.
+    pub fn append(&self, metric: &str, labels: &LabelSet, sample: Sample) {
+        let mut inner = self.inner.write();
+        let series = inner
+            .entry(SeriesKey {
+                metric: metric.to_string(),
+                labels: labels.clone(),
+            })
+            .or_default();
+        match series.last() {
+            Some(last) if last.timestamp > sample.timestamp => {
+                let pos = series.partition_point(|s| s.timestamp <= sample.timestamp);
+                series.insert(pos, sample);
+            }
+            _ => series.push(sample),
+        }
+    }
+
+    /// Appends a whole vector of samples (already time-ordered) at once.
+    pub fn append_series(&self, metric: &str, labels: &LabelSet, samples: &[Sample]) {
+        for &s in samples {
+            self.append(metric, labels, s);
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn num_series(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Total number of samples across all series.
+    pub fn num_samples(&self) -> usize {
+        self.inner.read().values().map(Vec::len).sum()
+    }
+
+    /// Instant query: for every matching series, the latest sample at or
+    /// before `at`.
+    pub fn query_instant(
+        &self,
+        metric: &str,
+        matchers: &[LabelMatcher],
+        at: i64,
+    ) -> Vec<(LabelSet, Sample)> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (key, samples) in inner.iter() {
+            if key.metric != metric || !key.labels.matches(matchers) {
+                continue;
+            }
+            let idx = samples.partition_point(|s| s.timestamp <= at);
+            if idx > 0 {
+                out.push((key.labels.clone(), samples[idx - 1]));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Range query: for every matching series, the samples with
+    /// `start <= timestamp <= end`.
+    pub fn query_range(
+        &self,
+        metric: &str,
+        matchers: &[LabelMatcher],
+        start: i64,
+        end: i64,
+    ) -> Vec<Series> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (key, samples) in inner.iter() {
+            if key.metric != metric || !key.labels.matches(matchers) {
+                continue;
+            }
+            let lo = samples.partition_point(|s| s.timestamp < start);
+            let hi = samples.partition_point(|s| s.timestamp <= end);
+            if lo < hi {
+                out.push(Series {
+                    metric: key.metric.clone(),
+                    labels: key.labels.clone(),
+                    samples: samples[lo..hi].to_vec(),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.labels.cmp(&b.labels));
+        out
+    }
+
+    /// Step-aligned range query (Prometheus-style): for every matching
+    /// series, one sample per aligned timestamp `start, start+step, …, ≤
+    /// end`, each carrying the latest raw value at or before that instant.
+    /// Aligned points before a series' first sample are omitted.
+    ///
+    /// Downsampling queries like this are how dashboards read a
+    /// 15-minute-cadence metric at, say, 1-hour resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is zero.
+    pub fn query_range_step(
+        &self,
+        metric: &str,
+        matchers: &[LabelMatcher],
+        start: i64,
+        end: i64,
+        step: i64,
+    ) -> Vec<Series> {
+        assert!(step > 0, "step must be positive");
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (key, samples) in inner.iter() {
+            if key.metric != metric || !key.labels.matches(matchers) {
+                continue;
+            }
+            let mut points = Vec::new();
+            let mut t = start;
+            while t <= end {
+                let idx = samples.partition_point(|s| s.timestamp <= t);
+                if idx > 0 {
+                    points.push(Sample {
+                        timestamp: t,
+                        value: samples[idx - 1].value,
+                    });
+                }
+                t += step;
+            }
+            if !points.is_empty() {
+                out.push(Series {
+                    metric: key.metric.clone(),
+                    labels: key.labels.clone(),
+                    samples: points,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.labels.cmp(&b.labels));
+        out
+    }
+
+    /// Applies a retention policy: drops every sample with
+    /// `timestamp < cutoff` and removes series left empty. Returns the
+    /// number of samples dropped.
+    pub fn retain_from(&self, cutoff: i64) -> usize {
+        let mut inner = self.inner.write();
+        let mut dropped = 0;
+        inner.retain(|_, samples| {
+            let keep_from = samples.partition_point(|s| s.timestamp < cutoff);
+            dropped += keep_from;
+            samples.drain(..keep_from);
+            !samples.is_empty()
+        });
+        dropped
+    }
+
+    /// All metric names currently stored, sorted and deduplicated.
+    pub fn metric_names(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut names: Vec<String> = inner.keys().map(|k| k.metric.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// All label sets for a metric, sorted.
+    pub fn series_for(&self, metric: &str) -> Vec<LabelSet> {
+        let inner = self.inner.read();
+        let mut out: Vec<LabelSet> = inner
+            .keys()
+            .filter(|k| k.metric == metric)
+            .map(|k| k.labels.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(id: &str) -> LabelSet {
+        LabelSet::new().with("env", id)
+    }
+
+    fn filled_db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..10 {
+            db.append(
+                "cpu_usage",
+                &env("EM_1"),
+                Sample {
+                    timestamp: t,
+                    value: t as f64 * 10.0,
+                },
+            );
+            db.append(
+                "cpu_usage",
+                &env("EM_2"),
+                Sample {
+                    timestamp: t,
+                    value: 1.0,
+                },
+            );
+        }
+        db.append(
+            "mem_usage",
+            &env("EM_1"),
+            Sample {
+                timestamp: 5,
+                value: 64.0,
+            },
+        );
+        db
+    }
+
+    #[test]
+    fn series_and_sample_counts() {
+        let db = filled_db();
+        assert_eq!(db.num_series(), 3);
+        assert_eq!(db.num_samples(), 21);
+        assert_eq!(db.metric_names(), vec!["cpu_usage", "mem_usage"]);
+        assert_eq!(db.series_for("cpu_usage").len(), 2);
+    }
+
+    #[test]
+    fn instant_query_latest_at_or_before() {
+        let db = filled_db();
+        let res = db.query_instant("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], 7);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].1.value, 70.0);
+        // Before the first sample: nothing.
+        let res = db.query_instant("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], -1);
+        assert!(res.is_empty());
+        // Exactly at a timestamp is inclusive.
+        let res = db.query_instant("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], 0);
+        assert_eq!(res[0].1.value, 0.0);
+    }
+
+    #[test]
+    fn range_query_bounds_inclusive() {
+        let db = filled_db();
+        let res = db.query_range("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], 3, 6);
+        assert_eq!(res.len(), 1);
+        let ts: Vec<i64> = res[0].samples.iter().map(|s| s.timestamp).collect();
+        assert_eq!(ts, vec![3, 4, 5, 6]);
+        // Empty window yields no series rather than an empty series.
+        let res = db.query_range("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], 100, 200);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn matchers_select_series() {
+        let db = filled_db();
+        let all = db.query_range("cpu_usage", &[], 0, 100);
+        assert_eq!(all.len(), 2);
+        let not1 = db.query_range(
+            "cpu_usage",
+            &[LabelMatcher::NotEq("env".into(), "EM_1".into())],
+            0,
+            100,
+        );
+        assert_eq!(not1.len(), 1);
+        assert_eq!(not1[0].labels.get("env"), Some("EM_2"));
+    }
+
+    #[test]
+    fn step_query_downsamples_and_carries_last_value() {
+        let db = filled_db();
+        // cpu_usage for EM_1 has samples at t = 0..9, value = 10 t.
+        let res = db.query_range_step("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], 0, 9, 3);
+        assert_eq!(res.len(), 1);
+        let pts: Vec<(i64, f64)> = res[0]
+            .samples
+            .iter()
+            .map(|s| (s.timestamp, s.value))
+            .collect();
+        assert_eq!(pts, vec![(0, 0.0), (3, 30.0), (6, 60.0), (9, 90.0)]);
+        // Aligned instants past the data carry the last value forward…
+        let res = db.query_range_step("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], 8, 20, 5);
+        let pts: Vec<(i64, f64)> = res[0]
+            .samples
+            .iter()
+            .map(|s| (s.timestamp, s.value))
+            .collect();
+        assert_eq!(pts, vec![(8, 80.0), (13, 90.0), (18, 90.0)]);
+        // …and instants before the first sample are omitted (here the
+        // aligned instants are -5 and 0; only t = 0 has data).
+        let res = db.query_range_step("cpu_usage", &[LabelMatcher::eq("env", "EM_1")], -5, 4, 5);
+        let pts: Vec<(i64, f64)> = res[0]
+            .samples
+            .iter()
+            .map(|s| (s.timestamp, s.value))
+            .collect();
+        assert_eq!(pts, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn step_query_rejects_zero_step() {
+        let db = filled_db();
+        db.query_range_step("cpu_usage", &[], 0, 10, 0);
+    }
+
+    #[test]
+    fn retention_drops_old_samples_and_empty_series() {
+        let db = filled_db();
+        assert_eq!(db.num_samples(), 21);
+        // mem_usage only has a sample at t = 5; cutting at 6 removes it.
+        let dropped = db.retain_from(6);
+        assert_eq!(dropped, 2 * 6 + 1);
+        assert_eq!(db.num_samples(), 8);
+        assert_eq!(db.metric_names(), vec!["cpu_usage"]);
+        // Remaining samples all survive the cutoff.
+        for s in db.query_range("cpu_usage", &[], i64::MIN, i64::MAX) {
+            assert!(s.samples.iter().all(|x| x.timestamp >= 6));
+        }
+        // Idempotent at the same cutoff.
+        assert_eq!(db.retain_from(6), 0);
+    }
+
+    #[test]
+    fn out_of_order_appends_are_sorted() {
+        let db = TimeSeriesDb::new();
+        for &t in &[5i64, 1, 3, 2, 4] {
+            db.append(
+                "m",
+                &env("E"),
+                Sample {
+                    timestamp: t,
+                    value: t as f64,
+                },
+            );
+        }
+        let res = db.query_range("m", &[], 0, 10);
+        let ts: Vec<i64> = res[0].samples.iter().map(|s| s.timestamp).collect();
+        assert_eq!(ts, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn append_series_bulk() {
+        let db = TimeSeriesDb::new();
+        let samples: Vec<Sample> = (0..100)
+            .map(|t| Sample {
+                timestamp: t,
+                value: t as f64,
+            })
+            .collect();
+        db.append_series("bulk", &env("E"), &samples);
+        assert_eq!(db.num_samples(), 100);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_samples() {
+        use std::sync::Arc;
+        let db = Arc::new(TimeSeriesDb::new());
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for t in 0..250 {
+                    db.append(
+                        "concurrent",
+                        &env(&format!("E{w}")),
+                        Sample {
+                            timestamp: t,
+                            value: w as f64,
+                        },
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.num_samples(), 1000);
+        assert_eq!(db.num_series(), 4);
+    }
+}

@@ -1,0 +1,4 @@
+//! Cross-crate integration tests for the Env2Vec workspace.
+//!
+//! The tests live in `tests/`; this library target exists only so the
+//! crate is a valid workspace member.

@@ -1,0 +1,128 @@
+//! Property-based tests spanning crate boundaries.
+
+use env2vec::anomaly::AnomalyDetector;
+use env2vec::dataframe::Dataframe;
+use env2vec::vocab::EmVocabulary;
+use env2vec_linalg::stats::Gaussian;
+use env2vec_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a plausible prediction/observation pair of equal length.
+fn series_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (8usize..80).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(10.0f64..90.0, n),
+            proptest::collection::vec(-20.0f64..20.0, n),
+        )
+            .prop_map(|(pred, delta)| {
+                let obs: Vec<f64> = pred.iter().zip(&delta).map(|(p, d)| p + d).collect();
+                (pred, obs)
+            })
+    })
+}
+
+proptest! {
+    /// γ monotonicity: stricter thresholds never flag more timesteps.
+    #[test]
+    fn detector_flagged_steps_monotone_in_gamma((pred, obs) in series_pair()) {
+        let dist = Gaussian { mean: 0.0, std_dev: 3.0 };
+        let mut last = usize::MAX;
+        for gamma in [0.5, 1.0, 2.0, 3.0, 5.0] {
+            let det = AnomalyDetector::new(gamma);
+            let flagged: usize = det
+                .detect(&dist, &pred, &obs)
+                .unwrap()
+                .iter()
+                .map(|iv| iv.end - iv.start)
+                .sum();
+            prop_assert!(flagged <= last);
+            last = flagged;
+        }
+    }
+
+    /// The absolute filter is a hard floor: no alarm's peak deviation can
+    /// be at or below it.
+    #[test]
+    fn alarms_always_exceed_absolute_filter((pred, obs) in series_pair()) {
+        let dist = Gaussian { mean: 0.0, std_dev: 1.0 };
+        let det = AnomalyDetector::new(1.0);
+        for iv in det.detect(&dist, &pred, &obs).unwrap() {
+            let dev = (iv.observed_at_peak - iv.predicted_at_peak).abs();
+            prop_assert!(dev > det.absolute_filter);
+        }
+    }
+
+    /// Alarm intervals are disjoint, ordered, and in range.
+    #[test]
+    fn alarm_intervals_are_well_formed((pred, obs) in series_pair()) {
+        let dist = Gaussian { mean: 0.0, std_dev: 2.0 };
+        let det = AnomalyDetector::new(1.5);
+        let ivs = det.detect(&dist, &pred, &obs).unwrap();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for iv in &ivs {
+            prop_assert!(iv.start < iv.end);
+            prop_assert!(iv.end <= pred.len());
+            prop_assert!(iv.peak >= iv.start && iv.peak < iv.end);
+        }
+    }
+
+    /// Dataframe assembly: every row's history window must equal the raw
+    /// series slice preceding its target.
+    #[test]
+    fn dataframe_history_matches_series(
+        n in 6usize..60,
+        window in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n > window);
+        let cf = Matrix::from_fn(n, 3, |i, j| ((i * 5 + j + seed as usize) % 17) as f64);
+        let ru: Vec<f64> = (0..n).map(|i| ((i * 13 + seed as usize) % 29) as f64).collect();
+        let mut vocab = EmVocabulary::telecom();
+        let df = Dataframe::from_series(&cf, &ru, &["a", "b", "c", "d"], window, &mut vocab)
+            .unwrap();
+        prop_assert_eq!(df.len(), n - window);
+        for i in 0..df.len() {
+            let p = i + window;
+            prop_assert_eq!(df.target[i], ru[p]);
+            for (j, &h) in df.history.row(i).iter().enumerate() {
+                prop_assert_eq!(h, ru[p - window + j]);
+            }
+            prop_assert_eq!(df.cf.row(i), cf.row(p));
+        }
+    }
+
+    /// Vocabulary encode is total: any tuple encodes without panicking,
+    /// and re-encoding known values is stable.
+    #[test]
+    fn vocab_encoding_is_stable(values in proptest::collection::vec("[a-z]{1,8}", 4)) {
+        let tuple: Vec<&str> = values.iter().map(String::as_str).collect();
+        let mut vocab = EmVocabulary::telecom();
+        let first = vocab.encode_or_add(&tuple);
+        let second = vocab.encode_or_add(&tuple);
+        prop_assert_eq!(&first, &second);
+        let frozen = vocab.encode(&tuple);
+        prop_assert_eq!(&first, &frozen);
+        // All indices are non-zero (known) after insertion.
+        prop_assert!(first.iter().all(|&i| i > 0));
+    }
+
+    /// Dataframe select/concat round-trip preserves rows.
+    #[test]
+    fn dataframe_concat_select_round_trip(n in 4usize..30, window in 1usize..3) {
+        prop_assume!(n > window + 1);
+        let cf = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64);
+        let ru: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut vocab = EmVocabulary::telecom();
+        let df = Dataframe::from_series(&cf, &ru, &["t", "s", "c", "b"], window, &mut vocab)
+            .unwrap();
+        let joined = Dataframe::concat(&[df.clone(), df.clone()]).unwrap();
+        prop_assert_eq!(joined.len(), 2 * df.len());
+        let back = joined
+            .select(&(0..df.len()).collect::<Vec<_>>())
+            .unwrap();
+        prop_assert_eq!(back.target, df.target);
+        prop_assert_eq!(back.cf, df.cf);
+    }
+}

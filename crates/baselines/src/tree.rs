@@ -286,8 +286,8 @@ mod tests {
     fn learns_step_function_exactly() {
         let (x, y) = step_data();
         let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng()).unwrap();
-        for i in 0..10 {
-            assert_eq!(tree.predict_one(&[i as f64]).unwrap(), y[i]);
+        for (i, &yi) in y.iter().enumerate().take(10) {
+            assert_eq!(tree.predict_one(&[i as f64]).unwrap(), yi);
         }
     }
 

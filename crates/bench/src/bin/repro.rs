@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--fast|--full] [--seed N] [--runs N] <experiment>...
+//! repro [--fast|--full] [--seed N] [--runs N] [--verbose]
+//!       [--trace-out FILE] [--bench-json FILE] <experiment>...
 //! repro all              # every experiment in paper order
 //! ```
 //!
@@ -13,15 +14,20 @@
 //! `--fast` shrinks datasets/grids for a smoke run (minutes); the default
 //! preset uses the paper's 125 build chains at reduced execution length;
 //! `--full` additionally averages neural methods over 10 runs.
+//!
+//! Observability: `--trace-out FILE` dumps the run's hierarchical spans
+//! as a Chrome trace (open in `chrome://tracing` or Perfetto);
+//! `--bench-json FILE` writes per-experiment wall time plus the study's
+//! accuracy summary as JSON; `--verbose` streams structured logfmt
+//! progress to stderr. Every run ends with a timing summary table.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use env2vec_eval::experiments::{
-    ablation, fig1, fig3, fig4, fig6, finetune, table3, table4, table5, table6, table7,
-    timing,
+    ablation, fig1, fig3, fig4, fig6, finetune, table3, table4, table5, table6, table7, timing,
 };
-use env2vec_eval::telecom_study::TelecomStudy;
+use env2vec_eval::telecom_study::{method_index, Method, TelecomStudy};
 use env2vec_eval::EvalOptions;
 
 /// Experiments in the paper's presentation order.
@@ -31,18 +37,76 @@ const ALL: [&str; 12] = [
 ];
 
 const NEEDS_STUDY: [&str; 10] = [
-    "fig1", "fig3", "fig4", "table5", "table6", "table7", "fig6", "timing", "ablation",
-    "finetune",
+    "fig1", "fig3", "fig4", "table5", "table6", "table7", "fig6", "timing", "ablation", "finetune",
 ];
 
 fn usage() -> &'static str {
-    "usage: repro [--fast|--full] [--seed N] [--runs N] <experiment>...\n\
+    "usage: repro [--fast|--full] [--seed N] [--runs N] [--verbose]\n\
+     \x20            [--trace-out FILE] [--bench-json FILE] <experiment>...\n\
      experiments: fig1 table3 table4 fig3 fig4 table5 table6 table7 fig6 timing ablation finetune | all"
+}
+
+/// Per-experiment outcome for the timing table and `--bench-json`.
+struct ExperimentTiming {
+    name: String,
+    wall_seconds: f64,
+}
+
+/// Mean clean-series MAE per method across the study's chains — the
+/// accuracy headline `--bench-json` records next to the wall times.
+fn accuracy_summary(study: &TelecomStudy) -> Vec<(&'static str, f64)> {
+    Method::ALL
+        .iter()
+        .map(|&m| {
+            let idx = method_index(m);
+            let mean = study.chains.iter().map(|c| c.clean_mae[idx]).sum::<f64>()
+                / study.chains.len().max(1) as f64;
+            (m.name(), mean)
+        })
+        .collect()
+}
+
+fn bench_json(
+    opts: &EvalOptions,
+    setup_seconds: Option<f64>,
+    timings: &[ExperimentTiming],
+    accuracy: &[(&'static str, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"preset\": \"{}\",\n  \"seed\": {},\n  \"runs\": {},\n",
+        if opts.fast { "fast" } else { "standard" },
+        opts.seed,
+        opts.runs
+    ));
+    if let Some(s) = setup_seconds {
+        out.push_str(&format!("  \"setup_seconds\": {s:.3},\n"));
+    }
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.3}}}{}\n",
+            t.name,
+            t.wall_seconds,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"clean_mae\": {\n");
+    for (i, (name, mae)) in accuracy.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {mae:.6}{}\n",
+            if i + 1 < accuracy.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
     let mut opts = EvalOptions::standard();
     let mut chosen: Vec<String> = Vec::new();
+    let mut trace_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,7 +114,9 @@ fn main() -> ExitCode {
                 opts = EvalOptions {
                     fast: true,
                     runs: 2,
-                    ..opts
+                    // Fast mode uses the fast preset's re-pinned seed
+                    // unless --seed overrides it later.
+                    seed: EvalOptions::fast().seed,
                 }
             }
             "--full" => {
@@ -71,6 +137,21 @@ fn main() -> ExitCode {
                 Some(runs) => opts.runs = runs,
                 None => {
                     eprintln!("--runs needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verbose" => env2vec_obs::set_verbose(true),
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_out = Some(path),
+                None => {
+                    eprintln!("--bench-json needs a file path\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -98,12 +179,27 @@ fn main() -> ExitCode {
         opts.seed
     );
 
+    let run_span = env2vec_obs::collector().start(
+        "repro/run".to_string(),
+        vec![
+            (
+                "preset".to_string(),
+                if opts.fast { "fast" } else { "standard" }.to_string(),
+            ),
+            ("seed".to_string(), opts.seed.to_string()),
+        ],
+    );
+
     // Build the shared telecom study once if any experiment needs it.
+    let mut setup_seconds = None;
     let study = if chosen.iter().any(|c| NEEDS_STUDY.contains(&c.as_str())) {
         let t0 = Instant::now();
+        let _setup_span = env2vec_obs::span!("repro/setup", chains = "telecom");
         println!("[setup] generating telecom dataset and training shared models...");
+        env2vec_obs::info!("study build started"; seed = opts.seed);
         match TelecomStudy::build(&opts) {
             Ok(study) => {
+                setup_seconds = Some(t0.elapsed().as_secs_f64());
                 println!(
                     "[setup] done in {:.1} s ({} chains, {} timesteps, {} Env2Vec weights)\n",
                     t0.elapsed().as_secs_f64(),
@@ -122,33 +218,77 @@ fn main() -> ExitCode {
         None
     };
 
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
     for name in &chosen {
         let t0 = Instant::now();
-        let result = match name.as_str() {
-            "table3" => table3::run(&opts),
-            "table4" => table4::run(&opts),
-            "fig1" => fig1::run(study.as_ref().expect("study built")),
-            "fig3" => fig3::run(study.as_ref().expect("study built")),
-            "fig4" => fig4::run(study.as_ref().expect("study built")),
-            "table5" => table5::run(study.as_ref().expect("study built")),
-            "table6" => table6::run(study.as_ref().expect("study built")),
-            "table7" => table7::run(study.as_ref().expect("study built")),
-            "fig6" => fig6::run(study.as_ref().expect("study built")),
-            "timing" => timing::run(study.as_ref().expect("study built")),
-            "ablation" => ablation::run(study.as_ref().expect("study built")),
-            "finetune" => finetune::run(study.as_ref().expect("study built")),
-            _ => unreachable!("validated above"),
+        let result = {
+            let _span = env2vec_obs::span!("repro/experiment", name = name);
+            env2vec_obs::info!("experiment started"; name = name);
+            match name.as_str() {
+                "table3" => table3::run(&opts),
+                "table4" => table4::run(&opts),
+                "fig1" => fig1::run(study.as_ref().expect("study built")),
+                "fig3" => fig3::run(study.as_ref().expect("study built")),
+                "fig4" => fig4::run(study.as_ref().expect("study built")),
+                "table5" => table5::run(study.as_ref().expect("study built")),
+                "table6" => table6::run(study.as_ref().expect("study built")),
+                "table7" => table7::run(study.as_ref().expect("study built")),
+                "fig6" => fig6::run(study.as_ref().expect("study built")),
+                "timing" => timing::run(study.as_ref().expect("study built")),
+                "ablation" => ablation::run(study.as_ref().expect("study built")),
+                "finetune" => finetune::run(study.as_ref().expect("study built")),
+                _ => unreachable!("validated above"),
+            }
         };
         match result {
             Ok(text) => {
-                println!("=== {name} ({:.1} s) ===\n", t0.elapsed().as_secs_f64());
+                let wall = t0.elapsed().as_secs_f64();
+                println!("=== {name} ({wall:.1} s) ===\n");
                 println!("{text}");
+                timings.push(ExperimentTiming {
+                    name: name.clone(),
+                    wall_seconds: wall,
+                });
             }
             Err(e) => {
                 eprintln!("{name} failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    drop(run_span);
+
+    // End-of-run timing summary.
+    println!("=== timing summary ===\n");
+    if let Some(s) = setup_seconds {
+        println!("  {:<12} {:>9.2} s", "[setup]", s);
+    }
+    for t in &timings {
+        println!("  {:<12} {:>9.2} s", t.name, t.wall_seconds);
+    }
+    let total: f64 =
+        timings.iter().map(|t| t.wall_seconds).sum::<f64>() + setup_seconds.unwrap_or(0.0);
+    println!("  {:<12} {:>9.2} s", "total", total);
+
+    if let Some(path) = trace_out {
+        let trace = env2vec_obs::collector().to_chrome_trace();
+        if let Err(e) = std::fs::write(&path, trace) {
+            eprintln!("failed to write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\nwrote {} spans to {path} (open in chrome://tracing or Perfetto)",
+            env2vec_obs::collector().len()
+        );
+    }
+    if let Some(path) = bench_out {
+        let accuracy = study.as_ref().map(accuracy_summary).unwrap_or_default();
+        let json = bench_json(&opts, setup_seconds, &timings, &accuracy);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write bench json to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote benchmark summary to {path}");
     }
     ExitCode::SUCCESS
 }

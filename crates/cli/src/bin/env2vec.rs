@@ -17,10 +17,15 @@ fn usage() -> &'static str {
      env2vec train    --dataset FILE [--epochs N] [--seed N] --out FILE\n  \
      env2vec screen   --dataset FILE --model FILE [--gamma G] --out FILE\n  \
      env2vec embed    --model FILE --testbed T --sut S --testcase C --build B\n  \
-     env2vec info     --model FILE"
+     env2vec info     --model FILE\n  \
+     global flags: --verbose (structured progress logs on stderr)"
 }
 
-/// Parses `--key value` pairs after the subcommand.
+/// Flags that stand alone (no value argument).
+const BOOLEAN_FLAGS: [&str; 1] = ["verbose"];
+
+/// Parses `--key value` pairs (plus boolean `--flag`s) after the
+/// subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -28,6 +33,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -68,6 +78,11 @@ fn run() -> Result<(), String> {
         return Err(usage().to_string());
     };
     let flags = parse_flags(rest)?;
+    if flags.contains_key("verbose") {
+        env2vec_obs::set_verbose(true);
+    }
+    env2vec_obs::info!("command started"; cmd = cmd);
+    let _cmd_span = env2vec_obs::span!("cli/command", cmd = cmd);
     let read = |key: &str| -> Result<String, String> {
         let path = require(&flags, key)?;
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
@@ -79,7 +94,7 @@ fn run() -> Result<(), String> {
         Ok(())
     };
 
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "generate" => {
             let json =
                 env2vec_cli::generate(require(&flags, "preset")?, parse_opt(&flags, "seed")?)
@@ -125,7 +140,12 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+    };
+    match &result {
+        Ok(()) => env2vec_obs::info!("command complete"; cmd = cmd),
+        Err(e) => env2vec_obs::info!("command failed"; cmd = cmd, error = e),
     }
+    result
 }
 
 fn main() -> ExitCode {

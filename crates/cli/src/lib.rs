@@ -12,7 +12,7 @@ use env2vec::anomaly::AnomalyDetector;
 use env2vec::config::Env2VecConfig;
 use env2vec::dataframe::Dataframe;
 use env2vec::serialize::{load_model, save_model};
-use env2vec::train::train_env2vec;
+use env2vec::train::{train_env2vec_observed, ObsTrainObserver};
 use env2vec::vocab::EmVocabulary;
 use env2vec::Env2VecModel;
 use env2vec_datagen::telecom::{BuildChain, TelecomConfig, TelecomDataset};
@@ -98,7 +98,8 @@ pub fn train(
     }
     let train_df = Dataframe::concat(&trains)?;
     let val_df = Dataframe::concat(&vals)?;
-    let (model, report) = train_env2vec(config, vocab, &train_df, &val_df)?;
+    let mut observer = ObsTrainObserver::new("env2vec_cli");
+    let (model, report) = train_env2vec_observed(config, vocab, &train_df, &val_df, &mut observer)?;
     let summary = format!(
         "trained on {} rows from {} chains; {} weights; best epoch {} (val MSE {:.5})",
         train_df.len(),
@@ -244,39 +245,44 @@ pub fn info(model_json: &str) -> Result<String> {
 mod tests {
     use super::*;
 
-    fn tiny_dataset_json() -> String {
+    /// Tests propagate failures with `?` instead of unwrapping so a
+    /// broken fixture reports the underlying error, not a panic site.
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn tiny_dataset_json() -> Result<String> {
         let mut cfg = TelecomConfig::small();
         cfg.num_chains = 3;
         cfg.steps_per_execution = 48;
         cfg.fault_fraction = 1.0;
-        serde_json::to_string(&TelecomDataset::generate(cfg)).unwrap()
+        serde_json::to_string(&TelecomDataset::generate(cfg)).map_err(|e| CliError(e.to_string()))
     }
 
     #[test]
-    fn generate_parses_back() {
-        let json = generate("small", Some(9)).unwrap();
-        let ds = parse_dataset(&json).unwrap();
+    fn generate_parses_back() -> TestResult {
+        let json = generate("small", Some(9))?;
+        let ds = parse_dataset(&json)?;
         assert_eq!(ds.chains.len(), TelecomConfig::small().num_chains);
         assert_eq!(ds.config.seed, 9);
         assert!(preset("nope").is_err());
         assert!(parse_dataset("{bad").is_err());
+        Ok(())
     }
 
     #[test]
-    fn train_screen_embed_info_round_trip() {
-        let dataset = tiny_dataset_json();
-        let (model_json, summary) = train(&dataset, Some(10), Some(4)).unwrap();
+    fn train_screen_embed_info_round_trip() -> TestResult {
+        let dataset = tiny_dataset_json()?;
+        let (model_json, summary) = train(&dataset, Some(10), Some(4))?;
         assert!(summary.contains("trained on"));
 
-        let (alarms_json, screen_summary) = screen(&dataset, &model_json, 1.0).unwrap();
+        let (alarms_json, screen_summary) = screen(&dataset, &model_json, 1.0)?;
         assert!(screen_summary.contains("screened 3 chains"));
-        let alarms: Vec<AlarmRecord> = serde_json::from_str(&alarms_json).unwrap();
+        let alarms: Vec<AlarmRecord> = serde_json::from_str(&alarms_json)?;
         for a in &alarms {
             assert!(a.start <= a.end);
             assert!(a.testbed.starts_with("Testbed_"));
         }
 
-        let ds = parse_dataset(&dataset).unwrap();
+        let ds = parse_dataset(&dataset)?;
         let labels = &ds.chains[0].executions[0].labels;
         let out = embed(
             &model_json,
@@ -284,19 +290,32 @@ mod tests {
             &labels.sut,
             &labels.testcase,
             &labels.build,
-        )
-        .unwrap();
+        )?;
         assert!(out.contains("embedding (40 dims)"));
 
-        let info_out = info(&model_json).unwrap();
+        let info_out = info(&model_json)?;
         assert!(info_out.contains("weights"));
         assert!(info_out.contains("testbed"));
+        Ok(())
     }
 
     #[test]
-    fn screen_rejects_mismatched_model() {
-        let dataset = tiny_dataset_json();
+    fn screen_rejects_mismatched_model() -> TestResult {
+        let dataset = tiny_dataset_json()?;
         assert!(screen(&dataset, "{not a model", 1.0).is_err());
         assert!(train("[]", None, None).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn malformed_inputs_surface_errors_not_panics() {
+        // Every entry point must turn malformed input into a CliError
+        // with a useful message.
+        let err = parse_dataset("{\"chains\": 3}").expect_err("type mismatch must fail");
+        assert!(err.to_string().contains("malformed dataset JSON"));
+        assert!(train("{\"chains\": \"oops\"}", None, None).is_err());
+        assert!(info("").is_err());
+        assert!(embed("null", "t", "s", "c", "b").is_err());
+        assert!(generate("smal", None).is_err());
     }
 }

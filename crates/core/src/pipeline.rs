@@ -58,6 +58,10 @@ pub fn execution_labels(ex: &Execution) -> LabelSet {
 /// CF columns are stored as `cf_<name>` series and the CPU as
 /// `cpu_usage`, all labelled with the EM record id.
 pub fn collect_execution(tsdb: &TimeSeriesDb, discovery: &mut ServiceDiscovery, ex: &Execution) {
+    let _span = env2vec_obs::span!("pipeline/collect_execution", chain = ex.chain_id);
+    env2vec_obs::metrics()
+        .counter("pipeline_collections_total")
+        .inc();
     let env_id = em_record_id(ex);
     discovery.register(ScrapeTarget::for_env(
         format!("collector-{}:9100", ex.chain_id),
@@ -107,6 +111,10 @@ pub fn read_dataframe(
     vocab: &EmVocabulary,
 ) -> Result<Dataframe> {
     let env_id = em_record_id(ex);
+    let _span = env2vec_obs::span!("pipeline/read_dataframe", env = env_id);
+    env2vec_obs::metrics()
+        .counter("pipeline_dataframe_reads_total")
+        .inc();
     let matchers = [LabelMatcher::eq("env", env_id)];
     let cpu_series = tsdb.query_range("cpu_usage", &matchers, 0, i64::MAX);
     let cpu_series = cpu_series.first().ok_or(Error::Empty {
@@ -189,6 +197,14 @@ pub fn screen_new_build_resource(
     alarms: &AlarmStore,
     resource: Resource,
 ) -> Result<Vec<u64>> {
+    let mut span = env2vec_obs::span!(
+        "pipeline/screen_new_build",
+        testbed = chain.testbed,
+        resource = resource.metric(),
+    );
+    env2vec_obs::metrics()
+        .counter("pipeline_screens_total")
+        .inc();
     let window = model.config.history_window;
     let vocab = model.vocab();
 
@@ -219,6 +235,23 @@ pub fn screen_new_build_resource(
     )?;
     let predicted = model.predict(&df)?;
     let intervals = detector.detect(&dist, &predicted, &df.target)?;
+
+    span.arg("alarms", intervals.len());
+    env2vec_obs::metrics()
+        .counter_with(
+            "pipeline_alarms_total",
+            LabelSet::new().with("resource", resource.metric()),
+        )
+        .inc_by(intervals.len() as u64);
+    if !intervals.is_empty() {
+        env2vec_obs::info!(
+            "alarms raised";
+            testbed = chain.testbed,
+            build = current.labels.build,
+            resource = resource.metric(),
+            count = intervals.len(),
+        );
+    }
 
     let labels = execution_labels(current);
     let ids = intervals

@@ -9,7 +9,9 @@ use env2vec_linalg::{Error, Matrix, Result};
 use env2vec_nn::graph::{Graph, NodeId};
 use env2vec_nn::optim::{Adam, Optimizer};
 use env2vec_nn::params::{Bound, ParamSet};
-use env2vec_nn::trainer::{shuffled_batches, EarlyStopping};
+use env2vec_nn::trainer::{
+    grad_norm, shuffled_batches, EarlyStopping, NullObserver, TrainObserver,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,6 +29,64 @@ pub struct TrainingReport {
     pub best_epoch: usize,
     /// Whether early stopping fired before `max_epochs`.
     pub stopped_early: bool,
+}
+
+/// A [`TrainObserver`] that bridges epoch telemetry into the
+/// observability layer: per-epoch `info!` log lines when `--verbose` is
+/// on, and `train_*` metrics (labelled by model name) in the global
+/// registry for the self-scraper to persist.
+#[derive(Debug, Clone)]
+pub struct ObsTrainObserver {
+    model: String,
+}
+
+impl ObsTrainObserver {
+    /// An observer reporting under `model` (e.g. `"env2vec"`, `"rfnn"`).
+    pub fn new(model: impl Into<String>) -> Self {
+        ObsTrainObserver {
+            model: model.into(),
+        }
+    }
+
+    fn labels(&self) -> env2vec_telemetry::LabelSet {
+        env2vec_telemetry::LabelSet::new().with("model", self.model.as_str())
+    }
+}
+
+impl TrainObserver for ObsTrainObserver {
+    fn on_epoch(&mut self, epoch: usize, val_loss: f64, grad_norm: f64) {
+        let m = env2vec_obs::metrics();
+        m.counter_with("train_epochs_total", self.labels()).inc();
+        m.gauge_with("train_val_loss", self.labels()).set(val_loss);
+        m.gauge_with("train_grad_norm", self.labels())
+            .set(grad_norm);
+        env2vec_obs::info!(
+            "epoch complete";
+            model = self.model,
+            epoch = epoch,
+            val_loss = val_loss,
+            grad_norm = grad_norm,
+        );
+    }
+
+    fn on_early_stop(&mut self, epoch: usize) {
+        env2vec_obs::metrics()
+            .counter_with("train_early_stops_total", self.labels())
+            .inc();
+        env2vec_obs::info!("early stop"; model = self.model, epoch = epoch);
+    }
+
+    fn on_complete(&mut self, best_epoch: usize, stopped_early: bool) {
+        env2vec_obs::metrics()
+            .counter_with("train_runs_total", self.labels())
+            .inc();
+        env2vec_obs::info!(
+            "training complete";
+            model = self.model,
+            best_epoch = best_epoch,
+            stopped_early = stopped_early,
+        );
+    }
 }
 
 /// Crate-private abstraction over the two trainable model families.
@@ -103,8 +163,21 @@ pub fn train_env2vec(
     train: &Dataframe,
     val: &Dataframe,
 ) -> Result<(Env2VecModel, TrainingReport)> {
+    train_env2vec_observed(config, vocab, train, val, &mut NullObserver)
+}
+
+/// [`train_env2vec`] with per-epoch [`TrainObserver`] hooks. The
+/// observer only reads values the loop computes anyway, so results are
+/// identical to the unobserved variant.
+pub fn train_env2vec_observed(
+    config: Env2VecConfig,
+    vocab: EmVocabulary,
+    train: &Dataframe,
+    val: &Dataframe,
+    observer: &mut dyn TrainObserver,
+) -> Result<(Env2VecModel, TrainingReport)> {
     let mut model = Env2VecModel::new(config, vocab, train)?;
-    let report = fit(&mut model, &config, train, val)?;
+    let report = fit(&mut model, &config, train, val, observer)?;
     Ok((model, report))
 }
 
@@ -117,8 +190,18 @@ pub fn train_rfnn(
     train: &Dataframe,
     val: &Dataframe,
 ) -> Result<(RfnnModel, TrainingReport)> {
+    train_rfnn_observed(config, train, val, &mut NullObserver)
+}
+
+/// [`train_rfnn`] with per-epoch [`TrainObserver`] hooks.
+pub fn train_rfnn_observed(
+    config: Env2VecConfig,
+    train: &Dataframe,
+    val: &Dataframe,
+    observer: &mut dyn TrainObserver,
+) -> Result<(RfnnModel, TrainingReport)> {
     let mut model = RfnnModel::new(config, train)?;
-    let report = fit(&mut model, &config, train, val)?;
+    let report = fit(&mut model, &config, train, val, observer)?;
     Ok((model, report))
 }
 
@@ -146,7 +229,7 @@ pub fn fine_tune_env2vec(
     config
         .validate()
         .map_err(|what| Error::InvalidArgument { what })?;
-    fit(model, &config, train, val)
+    fit(model, &config, train, val, &mut NullObserver)
 }
 
 /// Validation MSE in scaled-target space (no dropout).
@@ -173,6 +256,7 @@ fn fit<M: Trainable>(
     config: &Env2VecConfig,
     train: &Dataframe,
     val: &Dataframe,
+    observer: &mut dyn TrainObserver,
 ) -> Result<TrainingReport> {
     if train.is_empty() || val.is_empty() {
         return Err(Error::Empty { routine: "fit" });
@@ -184,6 +268,7 @@ fn fit<M: Trainable>(
     let mut stopped_early = false;
 
     for epoch in 0..config.max_epochs {
+        let mut last_grad_norm = 0.0;
         for batch_idx in
             shuffled_batches(train.len(), config.batch_size, config.seed + epoch as u64)
         {
@@ -200,12 +285,15 @@ fn fit<M: Trainable>(
             let loss = graph.mse(pred, target)?;
             graph.backward(loss)?;
             let grads = model.params().gradients(&graph, &bound)?;
+            last_grad_norm = grad_norm(&grads);
             opt.step(model.params_mut(), &grads)?;
         }
         let loss = scaled_val_mse(model, val)?;
         val_losses.push(loss);
+        observer.on_epoch(epoch, loss, last_grad_norm);
         if stopper.observe(loss, model.params()) {
             stopped_early = true;
+            observer.on_early_stop(epoch);
             break;
         }
     }
@@ -217,6 +305,7 @@ fn fit<M: Trainable>(
         .unwrap_or(0);
     let current = model.params().clone();
     model.replace_params(stopper.into_best(current));
+    observer.on_complete(best_epoch, stopped_early);
     Ok(TrainingReport {
         val_losses,
         best_epoch,
@@ -397,6 +486,68 @@ mod tests {
         let (mut model, _) = train_env2vec(Env2VecConfig::fast(), vocab, &train, &val).unwrap();
         assert!(fine_tune_env2vec(&mut model, 0, 1e-3, &train, &val).is_err());
         assert!(fine_tune_env2vec(&mut model, 5, -1.0, &train, &val).is_err());
+    }
+
+    #[test]
+    fn observer_does_not_change_numerics() {
+        // Acceptance criterion for the observability layer: observed and
+        // unobserved training with the same seed produce byte-identical
+        // models (here checked via exact prediction equality).
+        struct Recorder {
+            epochs: usize,
+            completed: bool,
+        }
+        impl env2vec_nn::trainer::TrainObserver for Recorder {
+            fn on_epoch(&mut self, _epoch: usize, val_loss: f64, grad_norm: f64) {
+                assert!(val_loss.is_finite() && grad_norm.is_finite());
+                self.epochs += 1;
+            }
+            fn on_complete(&mut self, _best_epoch: usize, _stopped_early: bool) {
+                self.completed = true;
+            }
+        }
+
+        let mut vocab_a = EmVocabulary::telecom();
+        let (all, a, _) = two_env_data(&mut vocab_a, 30.0, 60.0, 100);
+        let vocab_b = vocab_a.clone();
+        let (train, val) = all.split_validation(0.2).unwrap();
+        let cfg = Env2VecConfig::fast();
+
+        let (plain, plain_report) = train_env2vec(cfg, vocab_a, &train, &val).unwrap();
+        let mut rec = Recorder {
+            epochs: 0,
+            completed: false,
+        };
+        let (observed, observed_report) =
+            train_env2vec_observed(cfg, vocab_b, &train, &val, &mut rec).unwrap();
+
+        assert_eq!(plain_report.val_losses, observed_report.val_losses);
+        assert_eq!(plain_report.best_epoch, observed_report.best_epoch);
+        assert_eq!(plain.predict(&a).unwrap(), observed.predict(&a).unwrap());
+        assert_eq!(rec.epochs, observed_report.val_losses.len());
+        assert!(rec.completed);
+    }
+
+    #[test]
+    fn obs_observer_records_metrics() {
+        let mut vocab = EmVocabulary::telecom();
+        let (all, _, _) = two_env_data(&mut vocab, 30.0, 60.0, 60);
+        let (train, val) = all.split_validation(0.2).unwrap();
+        let mut obs = ObsTrainObserver::new("test_numerics_check");
+        let labels = env2vec_telemetry::LabelSet::new().with("model", "test_numerics_check");
+        let before = env2vec_obs::metrics()
+            .counter_with("train_epochs_total", labels.clone())
+            .get();
+        let (_, report) =
+            train_env2vec_observed(Env2VecConfig::fast(), vocab, &train, &val, &mut obs).unwrap();
+        let after = env2vec_obs::metrics()
+            .counter_with("train_epochs_total", labels.clone())
+            .get();
+        assert_eq!((after - before) as usize, report.val_losses.len());
+        assert!(env2vec_obs::metrics()
+            .gauge_with("train_val_loss", labels)
+            .get()
+            .is_finite());
     }
 
     #[test]

@@ -503,7 +503,7 @@ mod tests {
             }
         }
         // About half the chains should be faulty.
-        assert!(faulty >= 4 && faulty <= 12, "faulty chains {faulty}");
+        assert!((4..=12).contains(&faulty), "faulty chains {faulty}");
     }
 
     #[test]
@@ -604,6 +604,15 @@ mod tests {
         for chain in &ds.chains {
             if chain.sut == "SUT_AN" {
                 continue; // analytics is burst-driven, not load-driven
+            }
+            if matches!(
+                chain.testcase.as_str(),
+                "Testcase_Endurance" | "Testcase_Stress"
+            ) {
+                // Constant-load profiles leave no load signal to track;
+                // the demand/CPU correlation there is pure jitter and its
+                // sign is not meaningful.
+                continue;
             }
             let ex = &chain.executions[0];
             let demand = ex.cf.col(2);

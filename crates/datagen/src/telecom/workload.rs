@@ -93,8 +93,9 @@ pub fn contextual_features(
         let l = load[t];
         let b = burst[t];
         let cpu = clean_cpu[t];
-        let jitter =
-            |rng: &mut dyn rand::RngCore, scale: f64| 1.0 + scale * (rng.gen_range(0.0..2.0) - 1.0);
+        let jitter = |mut rng: &mut dyn rand::RngCore, scale: f64| {
+            1.0 + scale * (rng.gen_range(0.0..2.0) - 1.0)
+        };
         // Congestion factor: PMs degrade smoothly above ~80% CPU.
         let congestion = ((cpu - 80.0) / 20.0).clamp(0.0, 1.0);
         let row = vec![

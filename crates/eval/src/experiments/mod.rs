@@ -7,10 +7,10 @@
 
 pub mod ablation;
 pub mod fig1;
-pub mod finetune;
 pub mod fig3;
 pub mod fig4;
 pub mod fig6;
+pub mod finetune;
 pub mod table3;
 pub mod table4;
 pub mod table5;

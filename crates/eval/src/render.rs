@@ -145,9 +145,8 @@ pub fn render_boxplot_row(
         return String::from("(no data)\n");
     }
     let max = summaries.iter().fold(0.0f64, |m, b| m.max(b.max)).max(1e-9);
-    let level = |v: f64| -> usize {
-        (((v / max) * (height - 1) as f64).round() as usize).min(height - 1)
-    };
+    let level =
+        |v: f64| -> usize { (((v / max) * (height - 1) as f64).round() as usize).min(height - 1) };
     let mut grid = vec![vec![' '; summaries.len()]; height];
     for (col, b) in summaries.iter().enumerate() {
         let flagged = b.max > flag_above;

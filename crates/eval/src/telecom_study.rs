@@ -21,7 +21,7 @@ use env2vec::anomaly::AnomalyDetector;
 use env2vec::config::Env2VecConfig;
 use env2vec::dataframe::Dataframe;
 use env2vec::model::{Env2VecModel, RfnnModel};
-use env2vec::train::{train_env2vec, train_rfnn};
+use env2vec::train::{train_env2vec_observed, train_rfnn_observed, ObsTrainObserver};
 use env2vec::vocab::EmVocabulary;
 use env2vec_baselines::ridge::{self, Ridge, ALPHA_GRID};
 use env2vec_datagen::telecom::{Execution, TelecomConfig, TelecomDataset};
@@ -148,7 +148,10 @@ impl TelecomStudy {
             TelecomConfig::medium()
         };
         gen_cfg.seed = opts.seed;
-        let dataset = TelecomDataset::generate(gen_cfg);
+        let dataset = {
+            let _span = env2vec_obs::span!("study/generate", seed = opts.seed);
+            TelecomDataset::generate(gen_cfg)
+        };
         let window = 2;
 
         // Evaluation chains: the first NUM_EVAL faulty current builds (the
@@ -190,8 +193,19 @@ impl TelecomStudy {
             seed: opts.seed,
             ..Env2VecConfig::default()
         };
-        let (env2vec, _) = train_env2vec(nn_cfg, vocab.clone(), &train, &val)?;
-        let (rfnn_all, _) = train_rfnn(nn_cfg, &train, &val)?;
+        let (env2vec, rfnn_all) = {
+            let _span = env2vec_obs::span!("study/train_pooled", rows = train.len());
+            let (env2vec, _) = train_env2vec_observed(
+                nn_cfg,
+                vocab.clone(),
+                &train,
+                &val,
+                &mut ObsTrainObserver::new("env2vec_pooled"),
+            )?;
+            let (rfnn_all, _) =
+                train_rfnn_observed(nn_cfg, &train, &val, &mut ObsTrainObserver::new("rfnn_all"))?;
+            (env2vec, rfnn_all)
+        };
 
         // Blind models: exclude the evaluation chains entirely.
         let mut blind_vocab = EmVocabulary::telecom();
@@ -216,13 +230,29 @@ impl TelecomStudy {
             }
         }
         let (btrain, bval) = pooled_split(&blind_frames, 0.12)?;
-        let (blind_env2vec, _) = train_env2vec(nn_cfg, blind_vocab.clone(), &btrain, &bval)?;
-        let (blind_rfnn, _) = train_rfnn(nn_cfg, &btrain, &bval)?;
+        let (blind_env2vec, blind_rfnn) = {
+            let _span = env2vec_obs::span!("study/train_blind", rows = btrain.len());
+            let (blind_env2vec, _) = train_env2vec_observed(
+                nn_cfg,
+                blind_vocab.clone(),
+                &btrain,
+                &bval,
+                &mut ObsTrainObserver::new("env2vec_blind"),
+            )?;
+            let (blind_rfnn, _) = train_rfnn_observed(
+                nn_cfg,
+                &btrain,
+                &bval,
+                &mut ObsTrainObserver::new("rfnn_blind"),
+            )?;
+            (blind_env2vec, blind_rfnn)
+        };
         let training_seconds = train_start.elapsed().as_secs_f64();
 
         // Per-chain state: chains are independent, so fan the ridge fits
         // and model inference out across threads.
         let chains = {
+            let _span = env2vec_obs::span!("study/chain_states", chains = dataset.chains.len());
             let n_threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)

@@ -160,9 +160,7 @@ impl SpatialPooler {
             .enumerate()
             .map(|(c, &o)| {
                 if self.config.boost_strength > 0.0 {
-                    let boost = (self.config.boost_strength
-                        * (target - self.duty_cycles[c]))
-                        .exp();
+                    let boost = (self.config.boost_strength * (target - self.duty_cycles[c])).exp();
                     o as f64 * boost
                 } else {
                     o as f64

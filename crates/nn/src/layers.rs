@@ -506,8 +506,12 @@ mod tests {
             let h = cell.run_sequence(&mut g, &bound, &steps, 1).unwrap();
             g.value(h).clone()
         };
-        let a = run(&[0.1, 0.2, 0.3]);
-        let b = run(&[0.3, 0.2, 0.1]);
+        // Mixed-sign inputs: with a ReLU candidate and uniform init, an
+        // all-positive sequence can leave every hidden unit dead (state
+        // pinned at zero) for an unlucky draw, which would vacuously pass
+        // the inequality below.
+        let a = run(&[0.4, -0.2, 0.3]);
+        let b = run(&[0.3, -0.2, 0.4]);
         // Same multiset of inputs, different order → different state.
         assert_ne!(a, b);
     }

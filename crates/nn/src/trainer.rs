@@ -10,7 +10,49 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use env2vec_linalg::Matrix;
+
 use crate::params::ParamSet;
+
+/// Read-only hooks into a training loop.
+///
+/// Implementations receive values the loop already computes — they must
+/// not (and cannot, through this interface) influence batching, RNG
+/// streams, or parameter updates, so an observed run is numerically
+/// identical to an unobserved one.
+pub trait TrainObserver {
+    /// One epoch finished. `grad_norm` is the global L2 norm of the last
+    /// mini-batch's gradients (a cheap divergence/vanishing signal).
+    fn on_epoch(&mut self, epoch: usize, val_loss: f64, grad_norm: f64) {
+        let _ = (epoch, val_loss, grad_norm);
+    }
+
+    /// Early stopping fired after `epoch`.
+    fn on_early_stop(&mut self, epoch: usize) {
+        let _ = epoch;
+    }
+
+    /// Training finished; `best_epoch` indexes the kept parameters.
+    fn on_complete(&mut self, best_epoch: usize, stopped_early: bool) {
+        let _ = (best_epoch, stopped_early);
+    }
+}
+
+/// The do-nothing observer used by un-instrumented training entry points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {}
+
+/// Global L2 norm across a gradient set (the scalar observers receive).
+pub fn grad_norm(grads: &[Matrix]) -> f64 {
+    grads
+        .iter()
+        .flat_map(|g| g.as_slice())
+        .map(|&v| v * v)
+        .sum::<f64>()
+        .sqrt()
+}
 
 /// Splits `0..n` into shuffled mini-batches of at most `batch_size`.
 ///
@@ -138,6 +180,22 @@ mod tests {
         // 0.95 improves by less than min_delta → counts as no improvement.
         assert!(es.observe(0.95, &params_with(2.0)));
         assert_eq!(es.best_loss(), 1.0);
+    }
+
+    #[test]
+    fn grad_norm_is_global_l2() {
+        let grads = vec![Matrix::filled(1, 2, 3.0), Matrix::filled(1, 1, 4.0)];
+        // sqrt(9 + 9 + 16) = sqrt(34)
+        assert!((grad_norm(&grads) - 34f64.sqrt()).abs() < 1e-12);
+        assert_eq!(grad_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn null_observer_accepts_all_hooks() {
+        let mut obs = NullObserver;
+        obs.on_epoch(0, 1.0, 0.5);
+        obs.on_early_stop(3);
+        obs.on_complete(2, true);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Structured stderr logging for CLI `--verbose` runs.
+//!
+//! Lines are logfmt-style — `ts=<unix_ms> level=info msg="..." k=v ...`
+//! — so they stay grep-able and machine-parseable without a logging
+//! framework. Logging is off unless [`set_verbose`]`(true)` was called;
+//! the check is a single relaxed atomic load, so instrumented hot paths
+//! cost nothing when quiet.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static VERBOSE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables verbose logging process-wide.
+pub fn set_verbose(on: bool) {
+    VERBOSE.store(on, Ordering::Relaxed);
+}
+
+/// Whether verbose logging is enabled.
+pub fn verbose() -> bool {
+    VERBOSE.load(Ordering::Relaxed)
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// Quotes a logfmt value if it contains spaces, quotes, or `=`.
+fn logfmt_value(v: &str) -> String {
+    if v.is_empty() || v.contains([' ', '"', '=']) {
+        format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+    } else {
+        v.to_string()
+    }
+}
+
+/// Formats one logfmt line (no trailing newline). Exposed for tests.
+pub fn format_line(ts_ms: u128, level: &str, msg: &str, fields: &[(&str, String)]) -> String {
+    let mut line = format!("ts={ts_ms} level={level} msg={}", logfmt_value(msg));
+    for (k, v) in fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&logfmt_value(v));
+    }
+    line
+}
+
+/// Writes one structured line to stderr if verbose logging is on.
+pub fn log(level: &str, msg: &str, fields: &[(&str, String)]) {
+    if !verbose() {
+        return;
+    }
+    eprintln!("{}", format_line(now_ms(), level, msg, fields));
+}
+
+/// Logs at info level when verbose.
+///
+/// ```
+/// env2vec_obs::info!("screen complete"; build = 7, alarms = 2);
+/// ```
+#[macro_export]
+macro_rules! info {
+    ($msg:expr) => {
+        $crate::logging::log("info", $msg, &[])
+    };
+    ($msg:expr; $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::logging::log(
+            "info",
+            $msg,
+            &[$((stringify!($key), ::std::format!("{}", $val))),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_logfmt() {
+        let line = format_line(
+            1234,
+            "info",
+            "training started",
+            &[
+                ("epochs", "50".to_string()),
+                ("chain", "SUT_LB".to_string()),
+            ],
+        );
+        assert_eq!(
+            line,
+            "ts=1234 level=info msg=\"training started\" epochs=50 chain=SUT_LB"
+        );
+    }
+
+    #[test]
+    fn values_with_specials_are_quoted() {
+        assert_eq!(logfmt_value("plain"), "plain");
+        assert_eq!(logfmt_value("has space"), "\"has space\"");
+        assert_eq!(logfmt_value("k=v"), "\"k=v\"");
+        assert_eq!(logfmt_value("sa\"y"), "\"sa\\\"y\"");
+        assert_eq!(logfmt_value(""), "\"\"");
+    }
+
+    #[test]
+    fn toggling_verbosity() {
+        // Default off; log() is a no-op then.
+        assert!(!verbose());
+        set_verbose(true);
+        assert!(verbose());
+        set_verbose(false);
+    }
+}

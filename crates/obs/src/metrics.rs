@@ -1,0 +1,441 @@
+//! Counters, gauges, and log-bucket histograms in a label-aware registry.
+//!
+//! The model mirrors Prometheus client libraries: a metric is identified
+//! by name plus a [`LabelSet`], counters only go up, gauges hold the
+//! latest value, and histograms count observations into **fixed
+//! log-scale buckets** (half-decade boundaries), so percentile estimates
+//! stay within ~1.8x multiplicative error with a handful of `u64`s and
+//! no per-observation allocation.
+//!
+//! All metric handles are lock-free `Arc`s; the registry lock is only
+//! taken when a handle is first created (or at scrape time).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use env2vec_telemetry::LabelSet;
+use parking_lot::RwLock;
+
+/// Monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Latest-value metric.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram boundaries: half-decade log-scale buckets from 1 µs
+/// to 1000 s, in seconds. `observe` values above the last bound land in
+/// the implicit `+Inf` bucket.
+pub const DURATION_BUCKETS: [f64; 19] = [
+    1e-6, 3.162e-6, 1e-5, 3.162e-5, 1e-4, 3.162e-4, 1e-3, 3.162e-3, 1e-2, 3.162e-2, 1e-1, 3.162e-1,
+    1e0, 3.162e0, 1e1, 3.162e1, 1e2, 3.162e2, 1e3,
+];
+
+/// Observation distribution over fixed log-scale buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the trailing `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values (f64 bits, CAS-updated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The default duration histogram ([`DURATION_BUCKETS`]).
+    pub fn durations() -> Self {
+        Self::with_bounds(&DURATION_BUCKETS)
+    }
+
+    /// Log-scale bounds: `buckets_per_decade` geometric steps per power
+    /// of ten, spanning `10^min_exp ..= 10^max_exp`.
+    ///
+    /// # Panics
+    /// Panics if `min_exp >= max_exp` or `buckets_per_decade == 0`.
+    pub fn log_bounds(min_exp: i32, max_exp: i32, buckets_per_decade: u32) -> Vec<f64> {
+        assert!(min_exp < max_exp, "log_bounds: empty exponent range");
+        assert!(
+            buckets_per_decade > 0,
+            "log_bounds: zero buckets per decade"
+        );
+        let steps = (max_exp - min_exp) as u32 * buckets_per_decade;
+        (0..=steps)
+            .map(|i| 10f64.powf(min_exp as f64 + i as f64 / buckets_per_decade as f64))
+            .collect()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper bounds, excluding the implicit `+Inf`.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (non-cumulative), including the final `+Inf`
+    /// bucket; `bucket_counts().len() == bounds().len() + 1`.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Cumulative counts per bound, Prometheus `le` semantics: entry `i`
+    /// is the number of observations `<= bounds()[i]`, and a final entry
+    /// counts everything (`le="+Inf"`).
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.bucket_counts()
+            .into_iter()
+            .map(|c| {
+                total += c;
+                total
+            })
+            .collect()
+    }
+}
+
+/// A metric handle of any kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MetricKey {
+    name: String,
+    labels: LabelSet,
+}
+
+/// One scraped value (see [`MetricsRegistry::snapshot`]).
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram reading: `(bounds, cumulative_counts, sum, count)`.
+    Histogram {
+        /// Bucket upper bounds (no `+Inf`).
+        bounds: Vec<f64>,
+        /// Cumulative counts per bound plus a final `+Inf` entry.
+        cumulative: Vec<u64>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A `(name, labels, value)` triple from a registry snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Label set.
+    pub labels: LabelSet,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// Label-aware registry handing out shared metric handles.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<HashMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T, F: FnOnce() -> Metric, G: Fn(&Metric) -> Option<T>>(
+        &self,
+        name: &str,
+        labels: LabelSet,
+        make: F,
+        cast: G,
+    ) -> T {
+        let key = MetricKey {
+            name: name.to_string(),
+            labels,
+        };
+        if let Some(m) = self.metrics.read().get(&key) {
+            return cast(m)
+                .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", m.kind()));
+        }
+        let mut metrics = self.metrics.write();
+        let entry = metrics.entry(key).or_insert_with(make);
+        cast(entry)
+            .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", entry.kind()))
+    }
+
+    /// Counter with no labels.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, LabelSet::new())
+    }
+
+    /// Counter with the given labels.
+    ///
+    /// # Panics
+    /// Panics if `name`+`labels` is already registered as another kind.
+    pub fn counter_with(&self, name: &str, labels: LabelSet) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            || Metric::Counter(Arc::new(Counter::default())),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gauge with no labels.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, LabelSet::new())
+    }
+
+    /// Gauge with the given labels.
+    ///
+    /// # Panics
+    /// Panics if `name`+`labels` is already registered as another kind.
+    pub fn gauge_with(&self, name: &str, labels: LabelSet) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::default())),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Duration histogram ([`DURATION_BUCKETS`]) with no labels.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, LabelSet::new())
+    }
+
+    /// Duration histogram with the given labels.
+    ///
+    /// # Panics
+    /// Panics if `name`+`labels` is already registered as another kind.
+    pub fn histogram_with(&self, name: &str, labels: LabelSet) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::durations())),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Number of registered metric handles (series).
+    pub fn len(&self) -> usize {
+        self.metrics.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time reading of every registered metric, sorted by
+    /// name then labels for deterministic output.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let metrics = self.metrics.read();
+        let mut out: Vec<MetricSample> = metrics
+            .iter()
+            .map(|(key, metric)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        cumulative: h.cumulative_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        out
+    }
+}
+
+/// The process-wide registry used by pipeline instrumentation.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: std::sync::OnceLock<MetricsRegistry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total");
+        c.inc();
+        c.inc_by(4);
+        assert_eq!(reg.counter("requests_total").get(), 5);
+        let g = reg.gauge("queue_depth");
+        g.set(3.5);
+        assert_eq!(reg.gauge("queue_depth").get(), 3.5);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn labeled_handles_are_distinct_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("alarms_total", LabelSet::new().with("method", "env2vec"));
+        let b = reg.counter_with("alarms_total", LabelSet::new().with("method", "ridge"));
+        a.inc();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_by_log_scale() {
+        let h = Histogram::durations();
+        // 1 µs boundary is bucket 0; 2 µs lands in (1e-6, 3.162e-6].
+        h.observe(1e-6);
+        h.observe(2e-6);
+        h.observe(0.5); // (0.3162, 1.0]
+        h.observe(5_000.0); // beyond the last bound → +Inf bucket
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "1 µs sits on the first boundary");
+        assert_eq!(counts[1], 1, "2 µs in the second bucket");
+        let half_decile = DURATION_BUCKETS.iter().position(|&b| b == 1e0).unwrap();
+        assert_eq!(counts[half_decile], 1, "0.5 s in the (0.3162, 1] bucket");
+        assert_eq!(counts[DURATION_BUCKETS.len()], 1, "+Inf bucket");
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - (1e-6 + 2e-6 + 0.5 + 5000.0)).abs() < 1e-9);
+        let cumulative = h.cumulative_counts();
+        assert_eq!(*cumulative.last().unwrap(), 4, "le=+Inf counts everything");
+        assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn log_bounds_are_geometric() {
+        let b = Histogram::log_bounds(-3, 0, 1);
+        assert_eq!(b.len(), 4);
+        assert!((b[0] - 1e-3).abs() < 1e-12);
+        assert!((b[3] - 1.0).abs() < 1e-12);
+        let b2 = Histogram::log_bounds(0, 1, 2);
+        assert!((b2[1] - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+}

@@ -1,0 +1,193 @@
+//! Self-scrape: persist a metrics snapshot into the telemetry TSDB.
+//!
+//! Env2Vec already ships a time-series database for VNF telemetry
+//! ([`env2vec_telemetry::TimeSeriesDb`]); the observability layer
+//! dogfoods it as metrics storage. Each scrape takes a registry
+//! snapshot and appends one sample per series at the given timestamp,
+//! following the Prometheus exposition conventions:
+//!
+//! - counters and gauges become a plain series under their own name;
+//! - a histogram `h` becomes cumulative `h_bucket` series labelled
+//!   `le="<bound>"` (plus `le="+Inf"`), `h_sum`, and `h_count`.
+//!
+//! Everything scraped is therefore queryable back out with
+//! `query_instant`/`query_range` and label matchers, like any other
+//! series the pipeline collects.
+
+use env2vec_telemetry::{Sample, TimeSeriesDb};
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+
+/// Formats a bucket bound the way Prometheus does: shortest exact-ish
+/// decimal (`0.001`, not `1e-3`), so `le` labels are stable strings.
+fn format_bound(b: f64) -> String {
+    let s = format!("{b}");
+    if s.contains('e') || s.contains('E') {
+        // Fall back to a plain decimal rendering for tiny bounds.
+        let s = format!("{b:.12}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s
+    }
+}
+
+/// Appends one sample per registered series at `timestamp`, returning
+/// the number of samples written.
+pub fn scrape_into(registry: &MetricsRegistry, db: &TimeSeriesDb, timestamp: i64) -> usize {
+    let mut written = 0;
+    for metric in registry.snapshot() {
+        match metric.value {
+            MetricValue::Counter(v) => {
+                db.append(
+                    &metric.name,
+                    &metric.labels,
+                    Sample {
+                        timestamp,
+                        value: v as f64,
+                    },
+                );
+                written += 1;
+            }
+            MetricValue::Gauge(v) => {
+                db.append(
+                    &metric.name,
+                    &metric.labels,
+                    Sample {
+                        timestamp,
+                        value: v,
+                    },
+                );
+                written += 1;
+            }
+            MetricValue::Histogram {
+                bounds,
+                cumulative,
+                sum,
+                count,
+            } => {
+                let bucket_name = format!("{}_bucket", metric.name);
+                for (i, cum) in cumulative.iter().enumerate() {
+                    let le = if i < bounds.len() {
+                        format_bound(bounds[i])
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    let labels = metric.labels.clone().with("le", le);
+                    db.append(
+                        &bucket_name,
+                        &labels,
+                        Sample {
+                            timestamp,
+                            value: *cum as f64,
+                        },
+                    );
+                    written += 1;
+                }
+                db.append(
+                    &format!("{}_sum", metric.name),
+                    &metric.labels,
+                    Sample {
+                        timestamp,
+                        value: sum,
+                    },
+                );
+                db.append(
+                    &format!("{}_count", metric.name),
+                    &metric.labels,
+                    Sample {
+                        timestamp,
+                        value: count as f64,
+                    },
+                );
+                written += 2;
+            }
+        }
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_telemetry::{LabelMatcher, LabelSet};
+
+    #[test]
+    fn counters_and_gauges_round_trip_by_label() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("screens_total", LabelSet::new().with("method", "env2vec"))
+            .inc_by(7);
+        reg.gauge("tsdb_series").set(12.0);
+        let db = TimeSeriesDb::new();
+        let written = scrape_into(&reg, &db, 1_000);
+        assert_eq!(written, 2);
+
+        let hits = db.query_instant(
+            "screens_total",
+            &[LabelMatcher::eq("method", "env2vec")],
+            1_000,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.value, 7.0);
+
+        let gauges = db.query_instant("tsdb_series", &[], 1_000);
+        assert_eq!(gauges.len(), 1);
+        assert_eq!(gauges[0].1.value, 12.0);
+    }
+
+    #[test]
+    fn histograms_expand_to_prometheus_series() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("train_epoch_seconds");
+        h.observe(0.5);
+        h.observe(0.02);
+        let db = TimeSeriesDb::new();
+        scrape_into(&reg, &db, 2_000);
+
+        // +Inf bucket counts everything.
+        let inf = db.query_instant(
+            "train_epoch_seconds_bucket",
+            &[LabelMatcher::eq("le", "+Inf")],
+            2_000,
+        );
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf[0].1.value, 2.0);
+
+        // A mid bucket (le=0.1) holds only the 0.02 observation... and
+        // cumulative counts are monotone in the bound.
+        let mid = db.query_instant(
+            "train_epoch_seconds_bucket",
+            &[LabelMatcher::eq("le", "0.1")],
+            2_000,
+        );
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid[0].1.value, 1.0);
+
+        let sum = db.query_instant("train_epoch_seconds_sum", &[], 2_000);
+        assert!((sum[0].1.value - 0.52).abs() < 1e-9);
+        let count = db.query_instant("train_epoch_seconds_count", &[], 2_000);
+        assert_eq!(count[0].1.value, 2.0);
+    }
+
+    #[test]
+    fn bounds_render_as_plain_decimals() {
+        assert_eq!(format_bound(0.001), "0.001");
+        assert_eq!(format_bound(1.0), "1");
+        assert_eq!(format_bound(0.000001), "0.000001");
+        assert_eq!(format_bound(316.2), "316.2");
+    }
+
+    #[test]
+    fn repeated_scrapes_grow_history_not_cardinality() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ticks").inc();
+        let db = TimeSeriesDb::new();
+        scrape_into(&reg, &db, 1);
+        reg.counter("ticks").inc();
+        scrape_into(&reg, &db, 2);
+        assert_eq!(db.num_series(), 1);
+        let range = db.query_range("ticks", &[], 0, 10);
+        assert_eq!(range.len(), 1);
+        assert_eq!(range[0].samples.len(), 2);
+        assert_eq!(range[0].samples[1].value, 2.0);
+    }
+}

@@ -29,4 +29,4 @@ pub mod tsdb;
 
 pub use alarms::{Alarm, AlarmStore};
 pub use labels::{LabelMatcher, LabelSet};
-pub use tsdb::{Sample, TimeSeriesDb};
+pub use tsdb::{Sample, TimeSeriesDb, TsdbStats};

@@ -8,6 +8,7 @@
 //! workflow where both sides talk to the same Prometheus.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -40,10 +41,28 @@ pub struct Series {
     pub samples: Vec<Sample>,
 }
 
+/// Point-in-time operation counts for one database (see
+/// [`TimeSeriesDb::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsdbStats {
+    /// Samples inserted since creation.
+    pub inserts: u64,
+    /// Queries served since creation (instant, range, and step).
+    pub queries: u64,
+    /// Current number of distinct series.
+    pub num_series: usize,
+    /// Current total number of samples.
+    pub num_samples: usize,
+}
+
 /// An in-memory TSDB safe for concurrent writers and readers.
 #[derive(Debug, Default)]
 pub struct TimeSeriesDb {
     inner: RwLock<HashMap<SeriesKey, Vec<Sample>>>,
+    /// Insert/query tallies kept as plain atomics so reading them never
+    /// contends with the data lock.
+    inserts: AtomicU64,
+    queries: AtomicU64,
 }
 
 impl TimeSeriesDb {
@@ -56,6 +75,7 @@ impl TimeSeriesDb {
     /// first write. Samples may arrive slightly out of order; the series
     /// is kept sorted by timestamp.
     pub fn append(&self, metric: &str, labels: &LabelSet, sample: Sample) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
         let series = inner
             .entry(SeriesKey {
@@ -97,6 +117,7 @@ impl TimeSeriesDb {
         matchers: &[LabelMatcher],
         at: i64,
     ) -> Vec<(LabelSet, Sample)> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let inner = self.inner.read();
         let mut out = Vec::new();
         for (key, samples) in inner.iter() {
@@ -121,6 +142,7 @@ impl TimeSeriesDb {
         start: i64,
         end: i64,
     ) -> Vec<Series> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let inner = self.inner.read();
         let mut out = Vec::new();
         for (key, samples) in inner.iter() {
@@ -161,6 +183,7 @@ impl TimeSeriesDb {
         step: i64,
     ) -> Vec<Series> {
         assert!(step > 0, "step must be positive");
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let inner = self.inner.read();
         let mut out = Vec::new();
         for (key, samples) in inner.iter() {
@@ -204,6 +227,17 @@ impl TimeSeriesDb {
             !samples.is_empty()
         });
         dropped
+    }
+
+    /// Operation counts and current sizes, for the observability layer's
+    /// `tsdb_*` metrics.
+    pub fn stats(&self) -> TsdbStats {
+        TsdbStats {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            num_series: self.num_series(),
+            num_samples: self.num_samples(),
+        }
     }
 
     /// All metric names currently stored, sorted and deduplicated.
@@ -274,6 +308,20 @@ mod tests {
         assert_eq!(db.num_samples(), 21);
         assert_eq!(db.metric_names(), vec!["cpu_usage", "mem_usage"]);
         assert_eq!(db.series_for("cpu_usage").len(), 2);
+    }
+
+    #[test]
+    fn stats_count_operations_and_sizes() {
+        let db = filled_db();
+        let s = db.stats();
+        assert_eq!(s.inserts, 21);
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.num_series, 3);
+        assert_eq!(s.num_samples, 21);
+        db.query_instant("cpu_usage", &[], 5);
+        db.query_range("cpu_usage", &[], 0, 9);
+        db.query_range_step("cpu_usage", &[], 0, 9, 2);
+        assert_eq!(db.stats().queries, 3);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `bench_function`/`iter` surface with a simple
+//! median-of-samples wall-clock measurement and plain-text reporting.
+//! No statistical analysis, baselines, or HTML reports.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    /// Per-benchmark measurement budget.
+    measurement_time: Duration,
+    /// Substring filter from argv; empty string matches everything.
+    filter: String,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first
+        // non-flag argument, like libtest.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .unwrap_or_default();
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filter.is_empty() && !name.contains(&self.filter) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            deadline: Instant::now() + self.measurement_time,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Final-summary hook; a no-op in this stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Runs the measured closure and records per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(routine());
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= self.deadline || self.samples.len() >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<40} median {:>12?}  (min {:?}, max {:?}, n={})",
+            median,
+            min,
+            max,
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            filter: String::new(),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            filter: "matches-nothing".to_string(),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |_| ran = true);
+        assert!(!ran);
+    }
+}

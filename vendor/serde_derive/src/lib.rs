@@ -1,0 +1,321 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn` and `quote` are unavailable offline, so the derive input is
+//! parsed directly at the token level. Supported shapes — exactly what
+//! the workspace uses:
+//!
+//! - structs with named fields,
+//! - newtype (single-field tuple) structs,
+//! - enums whose variants are all unit variants,
+//! - `#[serde(transparent)]` on single-field structs.
+//!
+//! Generics and data-carrying enum variants are rejected with a
+//! `compile_error!` so unsupported usage fails loudly at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T);`
+    Newtype,
+    /// `#[serde(transparent)] struct S { inner: T }`
+    TransparentNamed(String),
+    /// `enum E { A, B }` — variant names in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// True when an attribute group body marks `#[serde(transparent)]`.
+fn is_serde_transparent(tokens: &[TokenTree]) -> bool {
+    // Attribute content is `serde ( transparent )`.
+    match tokens {
+        [TokenTree::Ident(name), TokenTree::Group(args)] => {
+            name.to_string() == "serde" && args.stream().to_string().contains("transparent")
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes, returning whether any was
+/// `#[serde(transparent)]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut transparent = false;
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*pos + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                transparent |= is_serde_transparent(&body);
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    transparent
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(&tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses the field names of a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        skip_attributes(body, &mut pos);
+        if pos >= body.len() {
+            break;
+        }
+        skip_visibility(body, &mut pos);
+        let name = match &body[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        pos += 1;
+        match &body.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while pos < body.len() {
+            match &body[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses the variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        skip_attributes(body, &mut pos);
+        if pos >= body.len() {
+            break;
+        }
+        let name = match &body[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        pos += 1;
+        match &body.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; only unit variants are supported"
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` after `{name}`")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let transparent = skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic types are not supported"));
+    }
+
+    let body = match &tokens.get(pos) {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected item body, found {other:?}")),
+    };
+
+    let shape = match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            let body: Vec<TokenTree> = body.stream().into_iter().collect();
+            let fields = parse_named_fields(&body)?;
+            if transparent {
+                match fields.as_slice() {
+                    [single] => Shape::TransparentNamed(single.clone()),
+                    _ => {
+                        return Err(format!(
+                            "`{name}`: #[serde(transparent)] needs exactly one field"
+                        ))
+                    }
+                }
+            } else {
+                Shape::NamedStruct(fields)
+            }
+        }
+        ("struct", Delimiter::Parenthesis) => {
+            // Count top-level tuple fields by commas at angle depth 0.
+            let body: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut angle_depth = 0i32;
+            let mut fields = if body.is_empty() { 0 } else { 1 };
+            for t in &body {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => fields += 1,
+                    _ => {}
+                }
+            }
+            // A trailing comma over-counts by one; tolerate it.
+            if matches!(body.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                fields -= 1;
+            }
+            if fields != 1 {
+                return Err(format!(
+                    "`{name}`: only single-field tuple structs are supported"
+                ));
+            }
+            Shape::Newtype
+        }
+        ("enum", Delimiter::Brace) => {
+            let body: Vec<TokenTree> = body.stream().into_iter().collect();
+            Shape::UnitEnum(parse_unit_variants(&body)?)
+        }
+        _ => return Err(format!("`{name}`: unsupported item shape")),
+    };
+
+    Ok(Item { name, shape })
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Shape::Newtype => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TransparentNamed(field) => {
+            format!("::serde::Serialize::serialize(&self.{field})")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(value.field({f:?})?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::TransparentNamed(field) => format!(
+            "::std::result::Result::Ok({name} {{ \
+             {field}: ::serde::Deserialize::deserialize(value)? }})"
+        ),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(\n\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\n\
+                         ::std::format!(\"expected string for {name}, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

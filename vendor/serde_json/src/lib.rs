@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Prints and parses JSON over the vendored `serde` [`Value`] tree.
+//! Floats are printed with Rust's shortest-roundtrip formatting (the
+//! moral equivalent of the `float_roundtrip` feature), and non-finite
+//! floats serialise to `null` exactly as upstream serde_json does.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+/// `Result` alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialises a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serialises a value to two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::deserialize(&value)
+}
+
+/// Parses a JSON document into a raw [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's Display is shortest-roundtrip; add `.0` so
+                // integral floats stay visibly floats, like serde_json.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error::new(format!("{what} at offset {}", self.pos))
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("missing low surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the digits; skip the
+                            // outer `pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<f64>("2").unwrap(), 2.0);
+        assert_eq!(from_str::<u32>("17").unwrap(), 17);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        for &f in &[
+            0.1,
+            1.0 / 3.0,
+            6.02e23,
+            -1e-300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), f, "{s}");
+        }
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v: Vec<Vec<f64>> = vec![vec![1.0, 2.5], vec![], vec![-3.0]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&s).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, "{\"a\":1,\"b\":2}");
+        let back: std::collections::BTreeMap<String, u64> = from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<u64>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        let s = to_string(&"control:\u{1}".to_string()).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), "control:\u{1}");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<f64>("{").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("-5").is_err());
+    }
+}

@@ -35,6 +35,8 @@ impl StandardScaler {
         }
         for s in &mut stds {
             *s = (*s / x.rows() as f64).sqrt();
+            // envlint: allow(float-cmp) — exact zero-guard: a constant column
+            // has std identically 0.0 and must not become a divisor.
             if *s == 0.0 {
                 *s = 1.0;
             }

@@ -174,6 +174,8 @@ impl Svr {
                 };
                 let new_beta = (soft / kii).clamp(-config.c, config.c);
                 let delta = new_beta - beta[i];
+                // envlint: allow(float-cmp) — exact no-op check: the O(n) row
+                // update is skipped only when the step is identically zero.
                 if delta != 0.0 {
                     beta[i] = new_beta;
                     for (fj, kj) in f.iter_mut().zip(k.row(i)) {

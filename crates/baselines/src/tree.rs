@@ -172,11 +172,9 @@ impl RegressionTree {
         let mut best: Option<(f64, usize, f64)> = None;
         let mut order = indices.to_vec();
         for &f in &features {
-            order.sort_by(|&a, &b| {
-                x.get(a, f)
-                    .partial_cmp(&x.get(b, f))
-                    .expect("finite feature values")
-            });
+            // `total_cmp` is a NaN-safe total order, so the comparator
+            // cannot fail even on pathological inputs.
+            order.sort_by(|&a, &b| x.get(a, f).total_cmp(&x.get(b, f)));
             let mut left_sum = 0.0;
             for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
                 left_sum += y[i];

@@ -224,20 +224,32 @@ fn main() -> ExitCode {
         let result = {
             let _span = env2vec_obs::span!("repro/experiment", name = name);
             env2vec_obs::info!("experiment started"; name = name);
+            // Name validation and NEEDS_STUDY mean `study` is always
+            // `Some` here, but an error report beats a panic if the two
+            // lists ever drift apart.
+            let need_study = || {
+                study
+                    .as_ref()
+                    .ok_or(env2vec_linalg::Error::InvalidArgument {
+                        what: "experiment requires the telecom study",
+                    })
+            };
             match name.as_str() {
                 "table3" => table3::run(&opts),
                 "table4" => table4::run(&opts),
-                "fig1" => fig1::run(study.as_ref().expect("study built")),
-                "fig3" => fig3::run(study.as_ref().expect("study built")),
-                "fig4" => fig4::run(study.as_ref().expect("study built")),
-                "table5" => table5::run(study.as_ref().expect("study built")),
-                "table6" => table6::run(study.as_ref().expect("study built")),
-                "table7" => table7::run(study.as_ref().expect("study built")),
-                "fig6" => fig6::run(study.as_ref().expect("study built")),
-                "timing" => timing::run(study.as_ref().expect("study built")),
-                "ablation" => ablation::run(study.as_ref().expect("study built")),
-                "finetune" => finetune::run(study.as_ref().expect("study built")),
-                _ => unreachable!("validated above"),
+                "fig1" => need_study().and_then(fig1::run),
+                "fig3" => need_study().and_then(fig3::run),
+                "fig4" => need_study().and_then(fig4::run),
+                "table5" => need_study().and_then(table5::run),
+                "table6" => need_study().and_then(table6::run),
+                "table7" => need_study().and_then(table7::run),
+                "fig6" => need_study().and_then(fig6::run),
+                "timing" => need_study().and_then(timing::run),
+                "ablation" => need_study().and_then(ablation::run),
+                "finetune" => need_study().and_then(finetune::run),
+                _ => Err(env2vec_linalg::Error::InvalidArgument {
+                    what: "unknown experiment name (validated above)",
+                }),
             }
         };
         match result {

@@ -131,6 +131,9 @@ impl AnomalyDetector {
             .map(|(p, o)| {
                 let err = o - p;
                 let deviation = (err - error_dist.mean).abs();
+                // envlint: allow(float-cmp) — exact zero-guard: a degenerate
+                // error distribution (std identically 0.0) switches to the
+                // any-deviation rule instead of dividing by sigma.
                 let sigma_ok = if error_dist.std_dev == 0.0 {
                     deviation > 0.0
                 } else {

@@ -175,6 +175,8 @@ impl Dataframe {
     ///
     /// Returns an error when either side would be empty.
     pub fn split_validation(&self, fraction: f64) -> Result<(Dataframe, Dataframe)> {
+        // envlint: allow(float-cmp) — exact boundary check: 0.0 is the one
+        // rejected value the half-open range pattern cannot exclude.
         if !(0.0..1.0).contains(&fraction) || fraction == 0.0 {
             return Err(Error::InvalidArgument {
                 what: "validation fraction must be in (0, 1)",

@@ -62,6 +62,8 @@ impl Scaler {
         }
         for s in &mut stds {
             *s = (*s / x.rows() as f64).sqrt();
+            // envlint: allow(float-cmp) — exact zero-guard: a constant column
+            // has std identically 0.0 and must not become a divisor.
             if *s == 0.0 {
                 *s = 1.0;
             }
@@ -110,6 +112,8 @@ impl TargetScaler {
         let std = var.sqrt();
         Ok(TargetScaler {
             mean,
+            // envlint: allow(float-cmp) — exact zero-guard: a constant target
+            // has std identically 0.0 and must not become a divisor.
             std: if std == 0.0 { 1.0 } else { std },
         })
     }

@@ -297,10 +297,13 @@ fn fit<M: Trainable>(
             break;
         }
     }
+    // total_cmp gives a total order even if a loss went NaN, so epoch
+    // selection can never panic mid-run (NaN sorts above every real
+    // loss and is never chosen as the best epoch).
     let best_epoch = val_losses
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite losses"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let current = model.params().clone();

@@ -6,15 +6,17 @@
 //! vector/embedding to deal with an unknown environment that has not
 //! appeared in the training data before" (§3.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 /// Vocabulary for one EM feature.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FeatureVocab {
-    /// Value → encoded index (1-based; 0 is `<unk>`).
-    map: HashMap<String, usize>,
+    /// Value → encoded index (1-based; 0 is `<unk>`). A `BTreeMap` so
+    /// serialisation and any future iteration over the map are ordered —
+    /// vocab ids must be bit-identical across runs (envlint `hash-iter`).
+    map: BTreeMap<String, usize>,
     /// Values in insertion order (`values[i]` has index `i + 1`).
     values: Vec<String>,
 }

@@ -179,6 +179,8 @@ impl KdnDataset {
     pub fn train(&self) -> (Matrix, &[f64]) {
         let idx: Vec<usize> = (0..self.n_train).collect();
         (
+            // envlint: allow(no-panic) — the split sizes are validated at
+            // construction, so these row indices are in range by invariant.
             self.features.select_rows(&idx).expect("in range"),
             &self.cpu[..self.n_train],
         )
@@ -190,6 +192,8 @@ impl KdnDataset {
         let hi = lo + self.n_val;
         let idx: Vec<usize> = (lo..hi).collect();
         (
+            // envlint: allow(no-panic) — the split sizes are validated at
+            // construction, so these row indices are in range by invariant.
             self.features.select_rows(&idx).expect("in range"),
             &self.cpu[lo..hi],
         )
@@ -200,6 +204,8 @@ impl KdnDataset {
         let lo = self.n_train + self.n_val;
         let idx: Vec<usize> = (lo..self.len()).collect();
         (
+            // envlint: allow(no-panic) — the split sizes are validated at
+            // construction, so these row indices are in range by invariant.
             self.features.select_rows(&idx).expect("in range"),
             &self.cpu[lo..],
         )

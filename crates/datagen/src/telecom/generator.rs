@@ -161,6 +161,8 @@ impl BuildChain {
     /// Panics when the chain has no executions (generation always creates
     /// at least one).
     pub fn current(&self) -> &Execution {
+        // envlint: allow(no-panic) — documented `# Panics` contract:
+        // generation always creates at least one execution.
         self.executions.last().expect("chains are non-empty")
     }
 

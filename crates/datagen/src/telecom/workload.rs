@@ -119,6 +119,8 @@ pub fn contextual_features(
     ContextualFeatures {
         load: load.to_vec(),
         burstiness: burst,
+        // envlint: allow(no-panic) — every row above is the same fixed-size
+        // array literal, so the widths cannot disagree.
         matrix: Matrix::from_rows(&rows).expect("fixed-width rows"),
     }
 }

@@ -1,0 +1,545 @@
+//! Token-stream analysis: test-region tracking, rule pattern matching,
+//! and `allow` suppression.
+
+use crate::lexer::{lex, AllowDirective, Token, TokenKind};
+use crate::rules::RuleId;
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable description of the specific site.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the text output format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Lints one file's source under the rules scoped to `crate_dir` (the
+/// directory name under `crates/`, e.g. `"core"`, `"linalg"`).
+///
+/// `file` is only used to label findings. Files that are test code in
+/// their entirety (integration tests, benches) should instead be passed
+/// through [`lint_test_source`].
+pub fn lint_source(file: &str, crate_dir: &str, source: &str) -> Vec<Finding> {
+    let out = lex(source);
+    let mut findings = Vec::new();
+    let test_regions = test_regions(&out.tokens);
+    for rule in RuleId::ALL {
+        if !rule.applies_to(crate_dir) || rule == RuleId::BadAllow {
+            continue;
+        }
+        scan_rule(rule, &out.tokens, &test_regions, file, &mut findings);
+    }
+    check_directives(&out.directives, file, &mut findings);
+    findings.retain(|f| f.rule == RuleId::BadAllow || !suppressed(f, &out.directives, &out.tokens));
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
+    findings
+}
+
+/// Lints a file that is test code in its entirety: only directive
+/// validity is checked, every scoped rule is off.
+pub fn lint_test_source(file: &str, source: &str) -> Vec<Finding> {
+    let out = lex(source);
+    let mut findings = Vec::new();
+    check_directives(&out.directives, file, &mut findings);
+    findings
+}
+
+/// A directive suppresses a finding of one of its rules on its own line;
+/// a standalone directive (comment-above style) also covers the next
+/// *code* line — the first line after it carrying any token, so a
+/// multi-line reason comment between the directive and the code still
+/// counts, but nothing past that single line is excused.
+fn suppressed(f: &Finding, directives: &[AllowDirective], tokens: &[Token]) -> bool {
+    directives.iter().any(|d| {
+        d.has_reason
+            && (d.line == f.line || (d.standalone && covered_code_line(d, tokens) == Some(f.line)))
+            && d.rules.iter().any(|r| r == f.rule.id())
+    })
+}
+
+/// The line a standalone directive covers: the first token line strictly
+/// after it (tokens come in line order). `None` when the directive is the
+/// last thing in the file.
+fn covered_code_line(d: &AllowDirective, tokens: &[Token]) -> Option<u32> {
+    tokens.iter().map(|t| t.line).find(|&l| l > d.line)
+}
+
+/// Reports malformed directives: missing reason or unknown rule name.
+fn check_directives(directives: &[AllowDirective], file: &str, findings: &mut Vec<Finding>) {
+    for d in directives {
+        if !d.has_reason {
+            findings.push(Finding {
+                rule: RuleId::BadAllow,
+                file: file.to_string(),
+                line: d.line,
+                message: "allow directive without a reason (add `— why the invariant holds`)"
+                    .to_string(),
+            });
+        }
+        for r in &d.rules {
+            if RuleId::parse(r).is_none() {
+                findings.push(Finding {
+                    rule: RuleId::BadAllow,
+                    file: file.to_string(),
+                    line: d.line,
+                    message: format!("allow directive names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+}
+
+/// Half-open token-index ranges that are test code (`#[test]` functions,
+/// `#[cfg(test)]` modules and items).
+///
+/// Detection works on the token stream: an attribute containing the
+/// identifier `test` arms a pending flag; the body `{ ... }` of the item
+/// that follows becomes a test region. A `;` before any `{` (attribute on
+/// a `use` or an out-of-line `mod tests;`) disarms it.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut region_start: Option<(usize, i32)> = None;
+    let mut depth: i32 = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct && t.text == "#" {
+            // Scan the attribute `#[ ... ]` / `#![ ... ]`.
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "!" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].kind == TokenKind::Punct && tokens[j].text == "[" {
+                let mut bracket = 0i32;
+                let attr_start = j;
+                while j < tokens.len() {
+                    let a = &tokens[j];
+                    if a.kind == TokenKind::Punct && a.text == "[" {
+                        bracket += 1;
+                    } else if a.kind == TokenKind::Punct && a.text == "]" {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let attr_end = j.min(tokens.len());
+                // Only arm outside an already-open test region.
+                if region_start.is_none() && attr_is_test(&tokens[attr_start..attr_end]) {
+                    pending_test_attr = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") => {
+                depth += 1;
+                if pending_test_attr && region_start.is_none() {
+                    region_start = Some((i, depth));
+                    pending_test_attr = false;
+                }
+            }
+            (TokenKind::Punct, "}") => {
+                if let Some((start, d)) = region_start {
+                    if depth == d {
+                        regions.push((start, i + 1));
+                        region_start = None;
+                    }
+                }
+                depth -= 1;
+            }
+            (TokenKind::Punct, ";") if region_start.is_none() => {
+                pending_test_attr = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unclosed region (truncated file): runs to the end.
+    if let Some((start, _)) = region_start {
+        regions.push((start, tokens.len()));
+    }
+    regions
+}
+
+/// Whether the attribute token slice marks test code: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, ...))]`, `#[tokio::test]`. The
+/// identifier must be exactly `test` — a `"test"` string or a path like
+/// `testing::x` does not count — and negations (`#[cfg(not(test))]`)
+/// never mark a region.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let has = |name: &str| {
+        attr.iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == name)
+    };
+    has("test") && !has("not")
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// Matches one rule's token patterns over the stream.
+fn scan_rule(
+    rule: RuleId,
+    tokens: &[Token],
+    test_regions: &[(usize, usize)],
+    file: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let push = |idx: usize, message: String, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            rule,
+            file: file.to_string(),
+            line: tokens[idx].line,
+            message,
+        });
+    };
+    for i in 0..tokens.len() {
+        if in_regions(test_regions, i) {
+            continue;
+        }
+        let t = &tokens[i];
+        match rule {
+            RuleId::NoPanic => {
+                if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "unwrap" | "expect") {
+                    let after_dot = i > 0
+                        && tokens[i - 1].kind == TokenKind::Punct
+                        && tokens[i - 1].text == ".";
+                    let called = tokens.get(i + 1).is_some_and(|n| n.text == "(");
+                    if after_dot && called {
+                        push(
+                            i,
+                            format!("`.{}()` in non-test code — propagate a Result or document the invariant", t.text),
+                            findings,
+                        );
+                    }
+                }
+                if t.kind == TokenKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    )
+                    && tokens.get(i + 1).is_some_and(|n| n.text == "!")
+                {
+                    push(
+                        i,
+                        format!("`{}!` in non-test code — return an error instead", t.text),
+                        findings,
+                    );
+                }
+            }
+            RuleId::FloatCmp => {
+                if t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=") {
+                    let prev_float = i > 0 && float_operand_ending_at(tokens, i - 1);
+                    let next_float = float_operand_starting_at(tokens, i + 1);
+                    if prev_float || next_float {
+                        push(
+                            i,
+                            format!(
+                                "float `{}` comparison — use a tolerance, or allow with the reason the exact compare is intended",
+                                t.text
+                            ),
+                            findings,
+                        );
+                    }
+                }
+            }
+            RuleId::HashIter => {
+                if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+                    push(
+                        i,
+                        format!(
+                            "`{}` in a deterministic code path — iteration order is randomised; use BTree{} or sorted iteration",
+                            t.text,
+                            &t.text[4..]
+                        ),
+                        findings,
+                    );
+                }
+            }
+            RuleId::WallClock => {
+                if t.kind == TokenKind::Ident
+                    && (t.text == "SystemTime" || t.text == "Instant")
+                    && tokens.get(i + 1).is_some_and(|n| n.text == "::")
+                    && tokens.get(i + 2).is_some_and(|n| n.text == "now")
+                {
+                    push(
+                        i,
+                        format!("`{}::now()` in a repro-table crate — results must be a pure function of the seed", t.text),
+                        findings,
+                    );
+                }
+                if t.kind == TokenKind::Ident
+                    && matches!(t.text.as_str(), "thread_rng" | "from_entropy")
+                {
+                    push(
+                        i,
+                        format!("`{}` draws OS entropy — use a seeded StdRng", t.text),
+                        findings,
+                    );
+                }
+            }
+            RuleId::CastTruncation => {
+                if t.kind == TokenKind::Ident
+                    && t.text == "as"
+                    && tokens.get(i + 1).is_some_and(|n| {
+                        n.kind == TokenKind::Ident
+                            && matches!(
+                                n.text.as_str(),
+                                "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+                            )
+                    })
+                {
+                    push(
+                        i,
+                        format!(
+                            "narrowing cast `as {}` in a linalg kernel — a truncated index corrupts results silently",
+                            tokens[i + 1].text
+                        ),
+                        findings,
+                    );
+                }
+            }
+            RuleId::BadAllow => {}
+        }
+    }
+}
+
+/// Whether the token at `idx` ends a float operand: a float literal, or
+/// a `f64::CONST` / `f32::CONST` path (`f64::EPSILON`, `NAN`, ...).
+fn float_operand_ending_at(tokens: &[Token], idx: usize) -> bool {
+    let t = &tokens[idx];
+    if t.kind == TokenKind::Float {
+        return true;
+    }
+    t.kind == TokenKind::Ident
+        && idx >= 2
+        && tokens[idx - 1].text == "::"
+        && matches!(tokens[idx - 2].text.as_str(), "f32" | "f64")
+}
+
+/// Whether a float operand starts at `idx`: an optionally negated float
+/// literal or a `f64::CONST` path.
+fn float_operand_starting_at(tokens: &[Token], idx: usize) -> bool {
+    let mut i = idx;
+    if tokens.get(i).is_some_and(|t| t.text == "-") {
+        i += 1;
+    }
+    let Some(t) = tokens.get(i) else {
+        return false;
+    };
+    if t.kind == TokenKind::Float {
+        return true;
+    }
+    (t.text == "f32" || t.text == "f64")
+        && tokens.get(i + 1).is_some_and(|n| n.text == "::")
+        && tokens
+            .get(i + 2)
+            .is_some_and(|n| n.kind == TokenKind::Ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+        findings.iter().map(|f| (f.rule.id(), f.line)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\nfn g() { panic!(\"boom\"); }\n";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 1), ("no-panic", 2)]);
+    }
+
+    #[test]
+    fn skips_test_modules_and_test_fns() {
+        let src = "\
+fn lib() -> usize { 1 }
+
+#[test]
+fn t() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); panic!(); }
+}
+";
+        assert!(lint_source("a.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_nested_test_module_is_still_linted() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { a.unwrap(); }
+}
+fn lib() { b.unwrap(); }
+";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 6)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 2)]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_arm_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x.unwrap(); }\n";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 3)]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.expect_err(\"e\"); }";
+        assert!(lint_source("a.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn float_cmp_literal_and_const() {
+        let src = "fn f() { if x == 0.0 {} if 1e-6 != y {} if z == f64::NAN {} if n == 0 {} }";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(
+            rules_at(&f),
+            vec![("float-cmp", 1), ("float-cmp", 1), ("float-cmp", 1)]
+        );
+    }
+
+    #[test]
+    fn hash_iter_scoped_by_crate() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_at(&lint_source("a.rs", "core", src)),
+            vec![("hash-iter", 1)]
+        );
+        assert!(lint_source("a.rs", "cli", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_patterns() {
+        let src =
+            "fn f() { let t = SystemTime::now(); let i = Instant::now(); let r = thread_rng(); }";
+        let f = lint_source("a.rs", "eval", src);
+        assert_eq!(
+            rules_at(&f),
+            vec![("wall-clock", 1), ("wall-clock", 1), ("wall-clock", 1)]
+        );
+        assert!(lint_source("a.rs", "obs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_only_in_linalg() {
+        let src = "fn f(n: usize) { let x = n as u32; let y = n as f64; let z = n as u64; }";
+        assert_eq!(
+            rules_at(&lint_source("a.rs", "linalg", src)),
+            vec![("cast-truncation", 1)]
+        );
+        assert!(lint_source("a.rs", "nn", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "\
+fn f() {
+    // envlint: allow(no-panic) — lock poisoning is unrecoverable here
+    x.unwrap();
+    y.unwrap(); // envlint: allow(no-panic): checked non-empty above
+    z.unwrap();
+}
+";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 5)]);
+    }
+
+    #[test]
+    fn standalone_allow_skips_reason_comment_lines_to_next_code_line() {
+        // The directive opens a comment block whose explanation continues
+        // on plain comment lines; coverage must land on the first code
+        // line after the block, and only on it.
+        let src = "\
+fn f() {
+    // envlint: allow(no-panic) — the queue is drained under the same
+    // lock that filled it, so the head is always present; see the
+    // scheduling invariant in DESIGN.md.
+    x.unwrap();
+    y.unwrap();
+}
+";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 6)]);
+    }
+
+    #[test]
+    fn standalone_allow_mid_expression_covers_the_offending_line() {
+        // rustfmt keeps comments inside method chains, so a directive can
+        // sit directly above the line that carries the violation even when
+        // the statement spans several lines.
+        let src = "\
+fn f() -> u32 {
+    build()
+        .finish()
+        // envlint: allow(no-panic) — construction is infallible for the
+        // fixed config above.
+        .unwrap()
+}
+";
+        let f = lint_source("a.rs", "core", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_reports_and_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // envlint: allow(no-panic)\n";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("no-panic", 1), ("bad-allow", 1)]);
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_reports() {
+        let src = "// envlint: allow(no-such-rule) — because\nfn f() {}\n";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("bad-allow", 1)]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_match() {
+        let src = "fn f() { let s = \"x.unwrap() HashMap panic!\"; } // .unwrap() HashMap\n";
+        assert!(lint_source("a.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn test_source_only_checks_directives() {
+        let src = "fn t() { x.unwrap(); }\n// envlint: allow(no-panic)\n";
+        let f = lint_test_source("t.rs", src);
+        assert_eq!(rules_at(&f), vec![("bad-allow", 2)]);
+    }
+}

@@ -1,0 +1,593 @@
+//! A small Rust lexer: enough of the token grammar for reliable
+//! token-stream lints.
+//!
+//! The lexer understands the parts of Rust where naive text search goes
+//! wrong — strings (including raw and byte strings), character literals
+//! vs. lifetimes, nested block comments, numeric literals with suffixes —
+//! and produces a comment-free token stream plus a side table of
+//! `envlint:` control comments. It does not build a syntax tree; the
+//! analyzer works on token patterns.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `HashMap`, ...).
+    Ident,
+    /// Lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (has a `.`, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-character operators (`==`, `::`, `->`, ...)
+    /// are single tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text of the token (string/char literals keep delimiters).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// An `// envlint: allow(no-panic) — reason` style control comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule ids listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// 1-based line the directive comment starts on.
+    pub line: u32,
+    /// Whether any justification text follows the closing parenthesis.
+    /// Directives without a reason are reported and do not suppress.
+    pub has_reason: bool,
+    /// Whether the comment stands alone on its line (no code before it).
+    /// Standalone directives cover the next line; trailing ones only
+    /// their own.
+    pub standalone: bool,
+}
+
+/// Lexer output: the comment-free token stream and the control comments.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `envlint: allow` directives found in comments.
+    pub directives: Vec<AllowDirective>,
+}
+
+/// Two- and three-character operators lexed as single punct tokens, in
+/// longest-match-first order.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes Rust source into tokens and envlint directives.
+///
+/// The lexer is forgiving: malformed input (an unterminated string, a
+/// stray byte) never fails, it simply ends the current token at end of
+/// input so the analyzer can still report on the rest of the file.
+pub fn lex(source: &str) -> LexOutput {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                'r' if self.raw_string_ahead(0) => self.raw_string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#type`.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    /// Whether position `pos + ahead` starts `r"` / `r#"` / `r##"`-style
+    /// raw-string syntax.
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        if self.peek(ahead) != Some('r') {
+            return false;
+        }
+        let mut i = ahead + 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        i > ahead + 1 && self.peek(i) == Some('"') || self.peek(ahead + 1) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.directive_from_comment(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.directive_from_comment(&text, line);
+    }
+
+    /// Parses `envlint: allow(no-panic, float-cmp) — reason` comments.
+    fn directive_from_comment(&mut self, comment: &str, line: u32) {
+        let Some(at) = comment.find("envlint:") else {
+            return;
+        };
+        let rest = comment[at + "envlint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            return;
+        };
+        let args = args.trim_start();
+        let Some(args) = args.strip_prefix('(') else {
+            return;
+        };
+        let Some(close) = args.find(')') else {
+            return;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = args[close + 1..]
+            .trim_start_matches(['*', '/'])
+            .trim_start_matches([':', '-', ' ', '\u{2014}', '\u{2013}']);
+        let standalone = self.out.tokens.last().is_none_or(|t| t.line != line);
+        self.out.directives.push(AllowDirective {
+            rules,
+            line,
+            has_reason: reason.chars().any(|c| c.is_alphanumeric()),
+            standalone,
+        });
+    }
+
+    fn string(&mut self, line: u32) {
+        // Opening quote.
+        let mut text = String::new();
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // `r`
+        text.push('r');
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) == Some('"') {
+            text.push('"');
+            self.bump();
+        }
+        // Scan until `"` followed by `hashes` hash marks.
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    if let Some(h) = self.bump() {
+                        text.push(h);
+                    }
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        if let Some(q) = self.bump() {
+            text.push(q);
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn lifetime_or_char(&mut self, line: u32) {
+        // `'a` (not followed by a closing quote) is a lifetime; `'a'` and
+        // `'\n'` are char literals.
+        let next = self.peek(1);
+        if next == Some('\\') {
+            self.char_literal(line);
+            return;
+        }
+        if next.is_some_and(is_ident_start) {
+            // Scan the identifier part to see whether a `'` closes it.
+            let mut i = 1;
+            while self.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.peek(i) == Some('\'') {
+                self.char_literal(line);
+            } else {
+                let mut text = String::new();
+                for _ in 0..i {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            return;
+        }
+        // Anything else (`'3'`, `'('`, stray quote) — treat as char.
+        self.char_literal(line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        let radix_prefix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        if radix_prefix {
+            // `0x1F`, `0b1010`, ...: digits, letters, and `_` only; never
+            // a float (an exponent `E` is a hex digit here).
+            for _ in 0..2 {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            self.push(TokenKind::Int, text, line);
+            return;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        // Fractional part: `.` followed by a digit, or a trailing `1.`
+        // (but not `1..2` ranges or `1.method()` calls).
+        if self.peek(0) == Some('.') {
+            let after = self.peek(1);
+            if after.is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+            } else if !after.is_some_and(|c| c == '.' || is_ident_start(c)) {
+                is_float = true;
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let has_exp = match sign {
+                Some('+' | '-') => digit.is_some_and(|c| c.is_ascii_digit()),
+                Some(c) => c.is_ascii_digit(),
+                None => false,
+            };
+            if has_exp {
+                is_float = true;
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_digit() || c == '_' || c == '+' || c == '-')
+                {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, ...).
+        if self.peek(0).is_some_and(is_ident_start) {
+            let mut suffix = String::new();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                if let Some(c) = self.bump() {
+                    suffix.push(c);
+                }
+            }
+            if suffix == "f32" || suffix == "f64" {
+                is_float = true;
+            }
+            text.push_str(&suffix);
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        for op in MULTI_PUNCT {
+            if op
+                .chars()
+                .enumerate()
+                .all(|(i, oc)| self.peek(i) == Some(oc))
+            {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let out = lex("let x = a.unwrap();\nfoo()");
+        let texts: Vec<&str> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";", "foo", "(", ")"]
+        );
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[9].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let out = kinds(r#"let s = "a.unwrap() == 1.0"; t"#);
+        assert!(out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        // No Ident token named unwrap leaked out of the string.
+        assert!(!out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let out = kinds(r###"let s = r#"quote " inside"#; let b = b"bytes"; x"###);
+        let strs: Vec<&String> = out
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].contains("quote"));
+        assert_eq!(out.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = out
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = out.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numeric_literal_classification() {
+        for (src, kind) in [
+            ("1", TokenKind::Int),
+            ("1_000", TokenKind::Int),
+            ("0xE1", TokenKind::Int),
+            ("1.0", TokenKind::Float),
+            ("1e-5", TokenKind::Float),
+            ("2.5e3", TokenKind::Float),
+            ("1f64", TokenKind::Float),
+            ("3usize", TokenKind::Int),
+        ] {
+            let out = lex(src);
+            assert_eq!(out.tokens.len(), 1, "{src}");
+            assert_eq!(out.tokens[0].kind, kind, "{src}");
+        }
+        // Ranges and method calls on ints are not floats.
+        let range = kinds("0..10");
+        assert_eq!(range[0].0, TokenKind::Int);
+        assert_eq!(range[1].1, "..");
+        let call = kinds("1.max(2)");
+        assert_eq!(call[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn comments_produce_no_tokens_but_directives() {
+        let out = lex(
+            "// envlint: allow(no-panic) — startup invariant\nx = 1; /* envlint: allow(float-cmp, hash-iter): exact zero guard */",
+        );
+        assert_eq!(out.directives.len(), 2);
+        assert_eq!(out.directives[0].rules, vec!["no-panic"]);
+        assert!(out.directives[0].has_reason);
+        assert_eq!(out.directives[0].line, 1);
+        assert_eq!(out.directives[1].rules, vec!["float-cmp", "hash-iter"]);
+        assert_eq!(out.directives[1].line, 2);
+    }
+
+    #[test]
+    fn directive_without_reason_is_marked() {
+        let out = lex("// envlint: allow(no-panic)\n");
+        assert_eq!(out.directives.len(), 1);
+        assert!(!out.directives[0].has_reason);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still comment */ ident");
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].text, "ident");
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let out = kinds("a == b != c :: d -> e");
+        let puncts: Vec<&String> = out
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", "->"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The `envlint` binary: `cargo run -p envlint -- --check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use envlint::rules::RuleId;
+use envlint::{find_workspace_root, findings_to_json, lint_workspace};
+
+const USAGE: &str = "usage: envlint [--check] [--format=text|json] [--root PATH] | --rules\n\
+     exit status: 0 clean, 1 findings, 2 usage or I/O error";
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if arg.starts_with("--format=") => {
+                format = arg["--format=".len()..].to_string();
+                if format != "text" && format != "json" {
+                    eprintln!("unknown format `{format}`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => {
+                eprintln!("unknown argument `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in RuleId::ALL {
+            println!("{:16} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    });
+    let Some(root) = root else {
+        eprintln!("envlint: no workspace root found (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("envlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("envlint: workspace clean");
+        } else {
+            eprintln!("envlint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

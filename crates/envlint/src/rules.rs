@@ -1,0 +1,138 @@
+//! The Env2Vec workspace lint rules: ids, rationale, and scope.
+//!
+//! Every rule is deny-by-default inside its scope. The only escape hatch
+//! is an inline control comment on the offending line (or the line
+//! directly above):
+//!
+//! ```text
+//! // envlint: allow(no-panic) — reason the invariant holds here
+//! ```
+//!
+//! A directive with no reason text does not suppress anything; it is
+//! itself reported (as `bad-allow`), so every exception stays documented.
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` in non-test code. A panic in library code kills a
+    /// whole screening run; return `Result` or document the invariant.
+    NoPanic,
+    /// Direct `==` / `!=` against a floating-point literal or float
+    /// constant outside tests. Exact comparisons hide rounding bugs that
+    /// corrupt regenerated tables; use a tolerance or document why the
+    /// exact bit-pattern check is intended (e.g. a division guard).
+    FloatCmp,
+    /// `HashMap` / `HashSet` in deterministic code paths (model,
+    /// training, eval, telemetry). Iteration order is randomised per
+    /// process, so vocab ids, scraped series, and report rows silently
+    /// reorder across runs; use `BTreeMap` / `BTreeSet` or sorted
+    /// iteration.
+    HashIter,
+    /// Wall-clock or OS-entropy access (`SystemTime::now`,
+    /// `Instant::now`, `thread_rng`, `from_entropy`) in crates that feed
+    /// the repro tables. Repro runs must be a pure function of the seed.
+    WallClock,
+    /// `as` cast to an integer type narrower than 64 bits inside the
+    /// `linalg` hot kernels, where a silently truncated index corrupts
+    /// results at production matrix sizes.
+    CastTruncation,
+    /// An `envlint: allow` directive with no reason text, or naming an
+    /// unknown rule. Emitted by the analyzer itself.
+    BadAllow,
+}
+
+impl RuleId {
+    /// All reportable rules, in severity order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::NoPanic,
+        RuleId::FloatCmp,
+        RuleId::HashIter,
+        RuleId::WallClock,
+        RuleId::CastTruncation,
+        RuleId::BadAllow,
+    ];
+
+    /// The stable id used in output and in `allow(...)` directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => "no-panic",
+            RuleId::FloatCmp => "float-cmp",
+            RuleId::HashIter => "hash-iter",
+            RuleId::WallClock => "wall-clock",
+            RuleId::CastTruncation => "cast-truncation",
+            RuleId::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a rule id as written in an `allow(...)` directive.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.id() == s)
+    }
+
+    /// One-line description shown by `envlint --rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => {
+                "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in non-test code"
+            }
+            RuleId::FloatCmp => {
+                "no == / != against float literals or float constants outside tests"
+            }
+            RuleId::HashIter => {
+                "no HashMap/HashSet in deterministic code paths (use BTreeMap/BTreeSet)"
+            }
+            RuleId::WallClock => {
+                "no SystemTime/Instant::now or OS-entropy RNG in repro-table crates"
+            }
+            RuleId::CastTruncation => "no narrowing integer `as` casts in linalg hot kernels",
+            RuleId::BadAllow => "envlint: allow directive without a reason or with an unknown rule",
+        }
+    }
+
+    /// Whether the rule applies inside the crate living at
+    /// `crates/<crate_dir>` (or `xtests`).
+    ///
+    /// Scopes encode which invariant each part of the workspace carries:
+    /// everything must be panic-free and float-comparison-clean;
+    /// determinism rules target the crates whose output lands in the
+    /// repro tables or the scraped telemetry; the cast rule targets the
+    /// numeric kernels.
+    pub fn applies_to(self, crate_dir: &str) -> bool {
+        match self {
+            RuleId::NoPanic | RuleId::FloatCmp | RuleId::BadAllow => true,
+            // cli flag parsing and the bench driver do I/O, not numerics;
+            // envlint itself holds no model state.
+            RuleId::HashIter => !matches!(crate_dir, "cli" | "bench" | "envlint" | "xtests"),
+            RuleId::WallClock => matches!(
+                crate_dir,
+                "core" | "nn" | "baselines" | "linalg" | "htm" | "datagen" | "eval"
+            ),
+            RuleId::CastTruncation => crate_dir == "linalg",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.id()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn scopes() {
+        assert!(RuleId::NoPanic.applies_to("cli"));
+        assert!(!RuleId::HashIter.applies_to("cli"));
+        assert!(RuleId::HashIter.applies_to("core"));
+        assert!(RuleId::WallClock.applies_to("linalg"));
+        assert!(!RuleId::WallClock.applies_to("obs"));
+        assert!(RuleId::CastTruncation.applies_to("linalg"));
+        assert!(!RuleId::CastTruncation.applies_to("nn"));
+    }
+}

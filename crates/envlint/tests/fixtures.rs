@@ -1,0 +1,111 @@
+//! Fixture self-tests: each rule's seeded violations are caught at the
+//! exact line, and the clean fixture stays clean.
+
+use envlint::{lint_source, Finding};
+
+fn check(fixture: &str, crate_dir: &str, source: &str) -> Vec<(String, u32)> {
+    lint_source(fixture, crate_dir, source)
+        .iter()
+        .map(|f: &Finding| (f.rule.id().to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn no_panic_fixture() {
+    let got = check("no_panic.rs", "core", include_str!("fixtures/no_panic.rs"));
+    assert_eq!(
+        got,
+        vec![
+            ("no-panic".to_string(), 5),
+            ("no-panic".to_string(), 9),
+            ("no-panic".to_string(), 13),
+            ("no-panic".to_string(), 17),
+        ]
+    );
+}
+
+#[test]
+fn float_cmp_fixture() {
+    let got = check(
+        "float_cmp.rs",
+        "core",
+        include_str!("fixtures/float_cmp.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("float-cmp".to_string(), 4),
+            ("float-cmp".to_string(), 8),
+            ("float-cmp".to_string(), 12),
+        ]
+    );
+}
+
+#[test]
+fn hash_iter_fixture() {
+    let src = include_str!("fixtures/hash_iter.rs");
+    let got = check("hash_iter.rs", "core", src);
+    assert_eq!(
+        got,
+        vec![("hash-iter".to_string(), 3), ("hash-iter".to_string(), 5)]
+    );
+    // Outside the deterministic scope the same source is clean.
+    assert!(check("hash_iter.rs", "cli", src).is_empty());
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let got = check("wall_clock.rs", "eval", src);
+    assert_eq!(
+        got,
+        vec![
+            ("wall-clock".to_string(), 6),
+            ("wall-clock".to_string(), 10),
+            ("wall-clock".to_string(), 14),
+        ]
+    );
+    // Observability crates are allowed to read the clock.
+    assert!(check("wall_clock.rs", "obs", src).is_empty());
+}
+
+#[test]
+fn cast_truncation_fixture() {
+    let src = include_str!("fixtures/cast_truncation.rs");
+    let got = check("cast_truncation.rs", "linalg", src);
+    assert_eq!(
+        got,
+        vec![
+            ("cast-truncation".to_string(), 4),
+            ("cast-truncation".to_string(), 8),
+        ]
+    );
+    // The cast rule is scoped to the linalg kernels only.
+    assert!(check("cast_truncation.rs", "nn", src).is_empty());
+}
+
+#[test]
+fn bad_allow_fixture() {
+    let got = check(
+        "bad_allow.rs",
+        "core",
+        include_str!("fixtures/bad_allow.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("bad-allow".to_string(), 5),
+            ("no-panic".to_string(), 6),
+            ("bad-allow".to_string(), 9),
+        ]
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    // Run under the strictest combination of scopes the workspace uses.
+    for crate_dir in ["core", "nn", "eval", "linalg"] {
+        let got = check("clean.rs", crate_dir, include_str!("fixtures/clean.rs"));
+        assert!(got.is_empty(), "{crate_dir}: {got:?}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded `bad-allow` violations: a directive with no reason does not
+//! suppress, and unknown rule names are reported.
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    // envlint: allow(no-panic)
+    x.unwrap() // line 6: still reported, directive has no reason
+}
+
+// envlint: allow(not-a-rule) — reason present but rule unknown (line 9)
+pub fn unknown_rule() {}

@@ -1,0 +1,17 @@
+//! Seeded `cast-truncation` violations.
+
+pub fn narrow_index(n: usize) -> u32 {
+    n as u32 // line 4
+}
+
+pub fn narrow_signed(n: i64) -> i32 {
+    n as i32 // line 8
+}
+
+pub fn widening_is_fine(i: usize) -> f64 {
+    i as f64
+}
+
+pub fn same_width_is_fine(i: usize) -> u64 {
+    i as u64
+}

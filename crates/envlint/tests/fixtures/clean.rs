@@ -1,0 +1,40 @@
+//! A fixture the linter must pass untouched: near-miss patterns, test
+//! code, strings, and properly justified allows.
+
+use std::collections::BTreeMap;
+
+/// Doc example mentioning `x.unwrap()` and `HashMap` — comments never
+/// match.
+pub fn near_misses(x: Option<u32>) -> u32 {
+    let table: BTreeMap<String, usize> = BTreeMap::new();
+    let _ = table;
+    let s = "contains .unwrap() and panic! and HashMap inside a string";
+    let _ = s;
+    let r = r#"raw string with SystemTime::now() and 1.0 == 2.0"#;
+    let _ = r;
+    x.unwrap_or(0) + Some(1).unwrap_or_else(|| 2)
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // envlint: allow(no-panic) — demonstrates a documented invariant
+    x.unwrap()
+}
+
+pub fn trailing_justified(x: Option<u32>) -> u32 {
+    x.unwrap() // envlint: allow(no-panic): fixture shows trailing form
+}
+
+pub fn float_tolerance(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        assert!(0.0 == 0.0);
+        Some(3).unwrap();
+    }
+}

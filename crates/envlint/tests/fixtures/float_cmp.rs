@@ -1,0 +1,25 @@
+//! Seeded `float-cmp` violations.
+
+pub fn literal_rhs(x: f64) -> bool {
+    x == 0.0 // line 4
+}
+
+pub fn literal_lhs(y: f64) -> bool {
+    1e-6 != y // line 8
+}
+
+pub fn const_rhs(z: f64) -> bool {
+    z == f64::INFINITY // line 12
+}
+
+pub fn int_compare_is_fine(n: usize) -> bool {
+    n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compare_in_tests_is_fine() {
+        assert!(0.5 == 0.5);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded `hash-iter` violations.
+
+use std::collections::HashMap; // line 3
+
+pub fn build_vocab(values: &[String]) -> HashMap<String, usize> { // line 5
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.clone(), i))
+        .collect()
+}
+
+pub fn sorted_map_is_fine() -> std::collections::BTreeMap<String, usize> {
+    std::collections::BTreeMap::new()
+}

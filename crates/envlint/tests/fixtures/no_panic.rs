@@ -1,0 +1,27 @@
+//! Seeded `no-panic` violations. Lines are asserted exactly by
+//! `tests/fixtures.rs` — keep the layout stable.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap() // line 5
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("present") // line 9
+}
+
+pub fn panic_site() {
+    panic!("boom"); // line 13
+}
+
+pub fn unreachable_site() {
+    unreachable!(); // line 17
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded `wall-clock` violations.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() // line 6
+}
+
+pub fn tick() -> Instant {
+    Instant::now() // line 10
+}
+
+pub fn entropy_rng() {
+    let _rng = rand::thread_rng(); // line 14
+}
+
+pub fn seeded_rng_is_fine(seed: u64) {
+    let _rng = StdRng::seed_from_u64(seed);
+}

@@ -1,0 +1,24 @@
+//! The enforcement test: the whole workspace must be envlint-clean.
+//!
+//! This is what makes the lints deny-by-default — `cargo test` (tier-1)
+//! fails on any new violation, with the same findings `cargo run -p
+//! envlint -- --check` prints.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = envlint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("envlint lives inside the workspace");
+    let findings = envlint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "envlint found {} violation(s); run `cargo run -p envlint -- --check` for details:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(envlint::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

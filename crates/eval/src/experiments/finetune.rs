@@ -48,6 +48,8 @@ pub fn compute(study: &TelecomStudy) -> Result<FinetuneResult> {
         for (slot, &gamma) in gammas.iter().enumerate() {
             let counts = study
                 .detect_unseen_on_chain(id, crate::telecom_study::Method::Env2Vec, gamma)?
+                // envlint: allow(no-panic) — Env2Vec is defined for every
+                // environment (the <unk> embedding), so detection never abstains.
                 .expect("Env2Vec applies to unseen environments");
             before[slot].add(counts);
         }

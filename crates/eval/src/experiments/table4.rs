@@ -36,7 +36,11 @@ pub fn run(opts: &EvalOptions) -> Result<String> {
             let vr = results
                 .iter()
                 .find(|r| r.vnf.name() == vnf_name)
+                // envlint: allow(no-panic) — compute() evaluates exactly the three
+                // VNFs this renderer names.
                 .expect("all three VNFs evaluated");
+            // envlint: allow(no-panic) — every result row carries the full
+            // fixed method list rendered here.
             let m = vr.method(name).expect("method present");
             cells.push(m.mae.render());
             cells.push(m.mse.render());

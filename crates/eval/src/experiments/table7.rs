@@ -68,7 +68,9 @@ pub fn compute(study: &TelecomStudy) -> Result<Table7Result> {
     let worst = rows
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.a_t.partial_cmp(&b.1.a_t).expect("finite A_T"))
+        // `total_cmp` gives a NaN-safe total order, so the comparator
+        // cannot fail even on pathological accuracy values.
+        .min_by(|a, b| a.1.a_t.total_cmp(&b.1.a_t))
         .map(|(i, _)| i)
         .unwrap_or(0);
     Ok(Table7Result { rows, worst })

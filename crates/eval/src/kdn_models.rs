@@ -346,6 +346,8 @@ pub fn evaluate_kdn(opts: &EvalOptions) -> Result<(Vec<VnfResults>, Vec<Signific
                     }
                 }
             }
+            // envlint: allow(no-panic) — the hyper-parameter grids above are
+            // non-empty literals, so at least one candidate was scored.
             let (w, d, _) = best.expect("non-empty grid");
             let mut maes = Vec::new();
             let mut mses = Vec::new();

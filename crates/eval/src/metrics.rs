@@ -73,6 +73,8 @@ impl RunStats {
     /// Renders as `mean ± std` (or just the mean for deterministic
     /// methods).
     pub fn render(&self) -> String {
+        // envlint: allow(float-cmp) — exact zero-guard: deterministic
+        // methods have std identically 0.0 and render without ±.
         if self.std == 0.0 {
             format!("{:.2}", self.mean)
         } else {

@@ -95,7 +95,9 @@ pub fn render_log_cdf(series: &[(String, Vec<f64>)], width: usize, height: usize
         let glyph = glyphs[si % glyphs.len()];
         let n = values.len() as f64;
         let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite MAE"));
+        // `total_cmp` gives a NaN-safe total order, so the sort cannot
+        // fail even on pathological inputs.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         for (i, &v) in sorted.iter().enumerate() {
             if v <= 0.0 {
                 continue;
@@ -186,6 +188,8 @@ pub fn render_heatmap(values: &[Vec<f64>], row_labels: &[String]) -> String {
     for (row, label) in values.iter().zip(row_labels) {
         out.push_str(&format!("{label:<label_w$} |"));
         for &v in row {
+            // envlint: allow(float-cmp) — exact zero-guard: an all-zero heat
+            // map has max identically 0.0 and must not become a divisor.
             let idx = if max == 0.0 {
                 0
             } else {

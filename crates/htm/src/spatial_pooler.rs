@@ -173,12 +173,9 @@ impl SpatialPooler {
         let mut order: Vec<usize> = (0..self.columns.len())
             .filter(|&c| raw_overlaps[c] >= self.config.stimulus_threshold)
             .collect();
-        order.sort_by(|&a, &b| {
-            boosted[b]
-                .partial_cmp(&boosted[a])
-                .expect("finite overlaps")
-                .then(a.cmp(&b))
-        });
+        // `total_cmp` is a NaN-safe total order, so the comparator
+        // cannot fail even on pathological overlap scores.
+        order.sort_by(|&a, &b| boosted[b].total_cmp(&boosted[a]).then(a.cmp(&b)));
         order.truncate(self.config.num_active);
 
         // Duty-cycle update (learning mode only, like the reference).

@@ -306,6 +306,8 @@ impl TemporalMemory {
         let m = self.config.cells_per_column;
         (col * m..(col + 1) * m)
             .min_by_key(|&c| self.usage[c])
+            // envlint: allow(no-panic) — config validation rejects
+            // cells_per_column = 0, so the per-column range is never empty.
             .expect("cells_per_column > 0")
     }
 

@@ -114,7 +114,9 @@ fn sorted(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    // `total_cmp` is a NaN-safe total order, so the sort cannot fail
+    // even if the iteration left a non-finite diagonal entry.
+    order.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
     let values = order.iter().map(|&i| diag[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));
     SymmetricEigen { values, vectors }

@@ -241,6 +241,8 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
+                // envlint: allow(float-cmp) — exact sparsity skip: only a bitwise
+                // zero contributes nothing to the product row.
                 if a == 0.0 {
                     continue;
                 }
@@ -472,6 +474,8 @@ impl Matrix {
             let r = self.row(row);
             for i in 0..n {
                 let ri = r[i];
+                // envlint: allow(float-cmp) — exact sparsity skip: only a bitwise
+                // zero contributes nothing to the accumulation.
                 if ri == 0.0 {
                     continue;
                 }

@@ -121,7 +121,9 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    // `total_cmp` orders NaN after every number, so the sort cannot
+    // fail; NaN inputs surface in the quantile value instead.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -161,6 +163,8 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
         vx += (x - mx) * (x - mx);
         vy += (y - my) * (y - my);
     }
+    // envlint: allow(float-cmp) — exact zero-guard: a constant input
+    // has variance identically 0.0 and must not divide.
     if vx == 0.0 || vy == 0.0 {
         return Ok(0.0);
     }
@@ -184,6 +188,8 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
     }
     let m = mean(xs)?;
     let var: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    // envlint: allow(float-cmp) — exact zero-guard: a constant series
+    // has variance identically 0.0 and must not divide.
     if var == 0.0 {
         return Ok(0.0);
     }
@@ -253,6 +259,8 @@ impl Gaussian {
     /// Returns `0.0` when the distribution is degenerate (`σ = 0`) and `x`
     /// equals the mean, and `+∞` when it does not.
     pub fn z_score(&self, x: f64) -> f64 {
+        // envlint: allow(float-cmp) — exact zero-guard: the documented
+        // degenerate behaviour (0 or +inf) needs sigma identically 0.0.
         if self.std_dev == 0.0 {
             if x == self.mean {
                 0.0
@@ -266,6 +274,8 @@ impl Gaussian {
 
     /// Cumulative distribution function via the error function.
     pub fn cdf(&self, x: f64) -> f64 {
+        // envlint: allow(float-cmp) — exact zero-guard: a degenerate
+        // distribution has a step CDF instead of an erf evaluation.
         if self.std_dev == 0.0 {
             return if x < self.mean { 0.0 } else { 1.0 };
         }
@@ -298,7 +308,9 @@ pub fn empirical_cdf(xs: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
         });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in ecdf input"));
+    // `total_cmp` orders NaN after every number, so the sort cannot
+    // fail; NaN inputs surface in the CDF support instead.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     let fracs = (1..=sorted.len()).map(|i| i as f64 / n).collect();
     Ok((sorted, fracs))
@@ -346,7 +358,11 @@ pub fn paired_t_test(xs: &[f64], ys: &[f64]) -> Result<TTest> {
     let sd = std_dev(&diffs)?;
     let n = diffs.len();
     let df = n - 1;
+    // envlint: allow(float-cmp) — exact zero-guard: zero-variance
+    // differences must not divide in the t statistic.
     if sd == 0.0 {
+        // envlint: allow(float-cmp) — exact degenerate case: identical
+        // paired samples give t = 0 by definition, not by tolerance.
         return Ok(if md == 0.0 {
             TTest {
                 t: 0.0,
@@ -373,6 +389,8 @@ pub fn paired_t_test(xs: &[f64], ys: &[f64]) -> Result<TTest> {
 /// CDF of the Student t distribution via the regularised incomplete beta
 /// function.
 fn student_t_cdf(t: f64, df: f64) -> f64 {
+    // envlint: allow(float-cmp) — exact symmetry point: t identically
+    // 0.0 short-circuits to CDF = 0.5 before the beta evaluation.
     if t == 0.0 {
         return 0.5;
     }

@@ -69,6 +69,34 @@ enum Op {
     },
 }
 
+#[cfg(feature = "numeric-sanitizer")]
+impl Op {
+    /// The op's name for sanitizer diagnostics.
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "Leaf",
+            Op::MatMul(..) => "MatMul",
+            Op::Add(..) => "Add",
+            Op::AddRowBroadcast(..) => "AddRowBroadcast",
+            Op::Sub(..) => "Sub",
+            Op::Mul(..) => "Mul",
+            Op::Scale(..) => "Scale",
+            Op::AddScalar(..) => "AddScalar",
+            Op::Sigmoid(..) => "Sigmoid",
+            Op::Tanh(..) => "Tanh",
+            Op::Relu(..) => "Relu",
+            Op::Square(..) => "Square",
+            Op::ConcatCols(..) => "ConcatCols",
+            Op::GatherRows { .. } => "GatherRows",
+            Op::RowSums(..) => "RowSums",
+            Op::MeanAll(..) => "MeanAll",
+            Op::DropoutMask { .. } => "DropoutMask",
+            Op::RowSoftmax(..) => "RowSoftmax",
+            Op::SliceCols { .. } => "SliceCols",
+        }
+    }
+}
+
 /// One tape entry.
 #[derive(Debug, Clone)]
 struct Node {
@@ -100,6 +128,13 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        #[cfg(feature = "numeric-sanitizer")]
+        assert!(
+            value.is_finite(),
+            "numeric-sanitizer: non-finite forward value out of op `{}` (node {})",
+            op.name(),
+            self.nodes.len()
+        );
         self.nodes.push(Node {
             value,
             grad: None,
@@ -493,6 +528,13 @@ impl Graph {
     }
 
     fn accumulate(&mut self, id: NodeId, grad: Matrix) -> Result<()> {
+        #[cfg(feature = "numeric-sanitizer")]
+        assert!(
+            grad.is_finite(),
+            "numeric-sanitizer: non-finite gradient flowing into op `{}` (node {})",
+            self.nodes[id.0].op.name(),
+            id.0
+        );
         match &mut self.nodes[id.0].grad {
             Some(existing) => existing.axpy(1.0, &grad),
             slot @ None => {
@@ -789,6 +831,49 @@ mod tests {
         let a = g.leaf(Matrix::zeros(2, 2));
         let b = g.leaf(Matrix::zeros(3, 2));
         assert!(g.concat_cols(&[a, b]).is_err());
+    }
+
+    #[cfg(feature = "numeric-sanitizer")]
+    #[test]
+    #[should_panic(expected = "numeric-sanitizer: non-finite forward value out of op `Scale`")]
+    fn sanitizer_catches_nan_forward_and_names_the_op() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(2, 2, 1.0));
+        let _ = g.scale(x, f64::NAN);
+    }
+
+    #[cfg(feature = "numeric-sanitizer")]
+    #[test]
+    #[should_panic(expected = "numeric-sanitizer: non-finite forward value out of op `Leaf`")]
+    fn sanitizer_catches_nan_leaf() {
+        let mut g = Graph::new();
+        let _ = g.leaf(Matrix::filled(1, 1, f64::NAN));
+    }
+
+    #[cfg(feature = "numeric-sanitizer")]
+    #[test]
+    #[should_panic(expected = "numeric-sanitizer: non-finite gradient flowing into op `Leaf`")]
+    fn sanitizer_catches_overflowing_gradient_in_backward() {
+        // Forward stays finite (1e-300 · 1e200 · 1e200 = 1e100), but the
+        // chain rule multiplies the two scale factors: the gradient at the
+        // leaf is 1e400 = +inf, caught during the reverse sweep.
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::filled(1, 1, 1e-300));
+        let a = g.scale(x, 1e200);
+        let b = g.scale(a, 1e200);
+        let loss = g.mean_all(b).unwrap();
+        let _ = g.backward(loss);
+    }
+
+    #[cfg(feature = "numeric-sanitizer")]
+    #[test]
+    fn sanitizer_is_silent_on_finite_graphs() {
+        let mut g = Graph::new();
+        let x = g.leaf(leaf_2x3());
+        let s = g.sigmoid(x);
+        let loss = g.mean_all(s).unwrap();
+        g.backward(loss).unwrap();
+        assert!(g.grad(x).is_some());
     }
 
     #[test]

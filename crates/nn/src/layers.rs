@@ -228,6 +228,8 @@ impl GruCell {
         Ok(*self
             .run_sequence_all(graph, bound, steps, batch)?
             .last()
+            // envlint: allow(no-panic) — run_sequence_all errors on an empty
+            // unroll, so the returned state list is never empty.
             .expect("non-empty sequence yields states"))
     }
 
@@ -319,6 +321,8 @@ impl AttentionPool {
                 Some(acc) => graph.add(acc, weighted)?,
             });
         }
+        // envlint: allow(no-panic) — run_sequence_all errors on an empty
+        // unroll, so the loop above executed at least once.
         Ok(pooled.expect("at least one state"))
     }
 }
@@ -412,6 +416,8 @@ pub fn dropout_mask(rng: &mut impl Rng, rows: usize, cols: usize, rate: f64) -> 
             what: "dropout rate must be in [0, 1)",
         });
     }
+    // envlint: allow(float-cmp) — exact fast path: only a rate of
+    // bitwise 0.0 may skip mask sampling without changing results.
     if rate == 0.0 {
         return Ok(Matrix::filled(rows, cols, 1.0));
     }

@@ -10,7 +10,7 @@
 //! All metric handles are lock-free `Arc`s; the registry lock is only
 //! taken when a handle is first created (or at scrape time).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -195,7 +195,7 @@ impl Metric {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct MetricKey {
     name: String,
     labels: LabelSet,
@@ -233,9 +233,13 @@ pub struct MetricSample {
 }
 
 /// Label-aware registry handing out shared metric handles.
+///
+/// Keyed by a `BTreeMap` so every walk over the registry — snapshots,
+/// scrapes, exports — sees series in `(name, labels)` order with no
+/// per-process randomisation (envlint `hash-iter`).
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    metrics: RwLock<HashMap<MetricKey, Metric>>,
+    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
 }
 
 impl MetricsRegistry {
@@ -257,11 +261,15 @@ impl MetricsRegistry {
         };
         if let Some(m) = self.metrics.read().get(&key) {
             return cast(m)
+                // envlint: allow(no-panic) — documented API contract: one
+                // name+labels key maps to one metric kind, and a mismatch
+                // is a programming error at the registration site.
                 .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", m.kind()));
         }
         let mut metrics = self.metrics.write();
         let entry = metrics.entry(key).or_insert_with(make);
         cast(entry)
+            // envlint: allow(no-panic) — same kind-mismatch contract as above.
             .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", entry.kind()))
     }
 
@@ -338,11 +346,12 @@ impl MetricsRegistry {
         self.len() == 0
     }
 
-    /// A point-in-time reading of every registered metric, sorted by
-    /// name then labels for deterministic output.
+    /// A point-in-time reading of every registered metric, in
+    /// `(name, labels)` order — the registry's own `BTreeMap` key order,
+    /// so output is deterministic without a separate sort.
     pub fn snapshot(&self) -> Vec<MetricSample> {
         let metrics = self.metrics.read();
-        let mut out: Vec<MetricSample> = metrics
+        metrics
             .iter()
             .map(|(key, metric)| MetricSample {
                 name: key.name.clone(),
@@ -358,9 +367,7 @@ impl MetricsRegistry {
                     },
                 },
             })
-            .collect();
-        out.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
-        out
+            .collect()
     }
 }
 

@@ -7,7 +7,7 @@
 //! metric collector and the prediction pipeline, mirroring the paper's
 //! workflow where both sides talk to the same Prometheus.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
@@ -24,7 +24,7 @@ pub struct Sample {
 }
 
 /// Identity of one series.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct SeriesKey {
     metric: String,
     labels: LabelSet,
@@ -56,9 +56,14 @@ pub struct TsdbStats {
 }
 
 /// An in-memory TSDB safe for concurrent writers and readers.
+///
+/// Series live in a `BTreeMap` so every scan — queries, name listings,
+/// retention — walks them in `(metric, labels)` order; results are
+/// deterministic with no per-process hash randomisation (envlint
+/// `hash-iter`).
 #[derive(Debug, Default)]
 pub struct TimeSeriesDb {
-    inner: RwLock<HashMap<SeriesKey, Vec<Sample>>>,
+    inner: RwLock<BTreeMap<SeriesKey, Vec<Sample>>>,
     /// Insert/query tallies kept as plain atomics so reading them never
     /// contends with the data lock.
     inserts: AtomicU64,
@@ -129,7 +134,7 @@ impl TimeSeriesDb {
                 out.push((key.labels.clone(), samples[idx - 1]));
             }
         }
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        // Map iteration is already (metric, labels)-ordered.
         out
     }
 
@@ -159,7 +164,6 @@ impl TimeSeriesDb {
                 });
             }
         }
-        out.sort_by(|a, b| a.labels.cmp(&b.labels));
         out
     }
 
@@ -210,7 +214,6 @@ impl TimeSeriesDb {
                 });
             }
         }
-        out.sort_by(|a, b| a.labels.cmp(&b.labels));
         out
     }
 
@@ -244,7 +247,6 @@ impl TimeSeriesDb {
     pub fn metric_names(&self) -> Vec<String> {
         let inner = self.inner.read();
         let mut names: Vec<String> = inner.keys().map(|k| k.metric.clone()).collect();
-        names.sort();
         names.dedup();
         names
     }
@@ -252,13 +254,11 @@ impl TimeSeriesDb {
     /// All label sets for a metric, sorted.
     pub fn series_for(&self, metric: &str) -> Vec<LabelSet> {
         let inner = self.inner.read();
-        let mut out: Vec<LabelSet> = inner
+        inner
             .keys()
             .filter(|k| k.metric == metric)
             .map(|k| k.labels.clone())
-            .collect();
-        out.sort();
-        out
+            .collect()
     }
 }
 

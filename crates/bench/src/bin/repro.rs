@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--fast|--full] [--seed N] [--runs N] [--verbose]
+//! repro [--fast|--full] [--seed N] [--runs N] [--threads N] [--verbose]
 //!       [--trace-out FILE] [--bench-json FILE] <experiment>...
 //! repro all              # every experiment in paper order
 //! ```
@@ -14,6 +14,11 @@
 //! `--fast` shrinks datasets/grids for a smoke run (minutes); the default
 //! preset uses the paper's 125 build chains at reduced execution length;
 //! `--full` additionally averages neural methods over 10 runs.
+//!
+//! Parallelism: `--threads N` bounds the worker pool (default:
+//! `ENV2VEC_THREADS` or the machine's available parallelism). Results
+//! are bit-identical at every thread count — see the `env2vec-par`
+//! determinism contract — so the flag trades wall-clock only.
 //!
 //! Observability: `--trace-out FILE` dumps the run's hierarchical spans
 //! as a Chrome trace (open in `chrome://tracing` or Perfetto);
@@ -41,7 +46,7 @@ const NEEDS_STUDY: [&str; 10] = [
 ];
 
 fn usage() -> &'static str {
-    "usage: repro [--fast|--full] [--seed N] [--runs N] [--verbose]\n\
+    "usage: repro [--fast|--full] [--seed N] [--runs N] [--threads N] [--verbose]\n\
      \x20            [--trace-out FILE] [--bench-json FILE] <experiment>...\n\
      experiments: fig1 table3 table4 fig3 fig4 table5 table6 table7 fig6 timing ablation finetune | all"
 }
@@ -78,6 +83,13 @@ fn bench_json(
         if opts.fast { "fast" } else { "standard" },
         opts.seed,
         opts.runs
+    ));
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"hardware_threads\": {},\n",
+        env2vec_par::max_threads(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     ));
     if let Some(s) = setup_seconds {
         out.push_str(&format!("  \"setup_seconds\": {s:.3},\n"));
@@ -140,6 +152,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => env2vec_par::set_threads(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--verbose" => env2vec_obs::set_verbose(true),
             "--trace-out" => match args.next() {
                 Some(path) => trace_out = Some(path),
@@ -173,10 +192,11 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "Env2Vec reproduction harness (preset: {}, runs: {}, seed: {})\n",
+        "Env2Vec reproduction harness (preset: {}, runs: {}, seed: {}, threads: {})\n",
         if opts.fast { "fast" } else { "standard" },
         opts.runs,
-        opts.seed
+        opts.seed,
+        env2vec_par::max_threads(),
     );
 
     let run_span = env2vec_obs::collector().start(

@@ -104,9 +104,12 @@ impl RuleId {
             // cli flag parsing and the bench driver do I/O, not numerics;
             // envlint itself holds no model state.
             RuleId::HashIter => !matches!(crate_dir, "cli" | "bench" | "envlint" | "xtests"),
+            // `par` is in scope: its determinism contract forbids timing
+            // from influencing results, so any clock use there must carry
+            // a reasoned allow (pool-utilisation metrics only).
             RuleId::WallClock => matches!(
                 crate_dir,
-                "core" | "nn" | "baselines" | "linalg" | "htm" | "datagen" | "eval"
+                "core" | "nn" | "baselines" | "linalg" | "htm" | "datagen" | "eval" | "par"
             ),
             RuleId::CastTruncation => crate_dir == "linalg",
         }
@@ -131,6 +134,7 @@ mod tests {
         assert!(!RuleId::HashIter.applies_to("cli"));
         assert!(RuleId::HashIter.applies_to("core"));
         assert!(RuleId::WallClock.applies_to("linalg"));
+        assert!(RuleId::WallClock.applies_to("par"));
         assert!(!RuleId::WallClock.applies_to("obs"));
         assert!(RuleId::CastTruncation.applies_to("linalg"));
         assert!(!RuleId::CastTruncation.applies_to("nn"));

@@ -104,48 +104,112 @@ fn score(
     Ok(total / study.dataset.chains.len() as f64)
 }
 
+/// One independently trainable ablation configuration.
+enum AblationJob {
+    /// Combination-operator variant (§3.2).
+    Combination(&'static str, Combination),
+    /// EM feature hold-out (§6): feature index and its label.
+    Holdout(usize, &'static str),
+    /// Attention pooling over the RU history (§6 future work).
+    Attention,
+}
+
+impl AblationJob {
+    fn span_name(&self) -> String {
+        match self {
+            AblationJob::Combination(label, _) => {
+                // envlint: allow(no-panic) — labels are non-empty literals.
+                let op = label.split_whitespace().next().expect("non-empty label");
+                format!("eval/ablation/combination/{op}")
+            }
+            AblationJob::Holdout(_, name) => format!("eval/ablation/holdout/{name}"),
+            AblationJob::Attention => "eval/ablation/attention".to_string(),
+        }
+    }
+}
+
+/// Trains and scores one ablation configuration.
+fn run_job(
+    study: &TelecomStudy,
+    base_cfg: &Env2VecConfig,
+    job: &AblationJob,
+) -> Result<AblationRow> {
+    let (hold_out, label, cfg) = match job {
+        AblationJob::Combination(label, combination) => (
+            None,
+            label.to_string(),
+            Env2VecConfig {
+                combination: *combination,
+                ..*base_cfg
+            },
+        ),
+        AblationJob::Holdout(f, name) => (Some(*f), format!("without {name}"), *base_cfg),
+        AblationJob::Attention => (
+            None,
+            format!("attention pool (window {})", base_cfg.history_window.max(4)),
+            Env2VecConfig {
+                attention: true,
+                history_window: base_cfg.history_window.max(4),
+                ..*base_cfg
+            },
+        ),
+    };
+    let (vocab, train, val) = frames_with_holdout(study, hold_out)?;
+    let (model, _) = train_env2vec(cfg, vocab, &train, &val)?;
+    Ok(AblationRow {
+        label,
+        weights: model.params().num_weights(),
+        mae: score(study, &model, hold_out)?,
+    })
+}
+
 /// Runs both ablations on the study's dataset.
+///
+/// All eight configurations are independent trainings with explicit
+/// seeds, so they fan out over the worker pool; rows are assembled in
+/// the fixed order below regardless of completion order.
 pub fn compute(study: &TelecomStudy) -> Result<AblationResult> {
     let base_cfg = Env2VecConfig {
         history_window: study.window,
         ..study.env2vec.config
     };
 
-    // 1. Combination operators.
-    let mut combinations = Vec::new();
-    for (label, combination) in [
-        ("HadamardSum (Eq. 2)", Combination::HadamardSum),
-        ("Bilinear  (v_d R C)", Combination::Bilinear),
-        ("MLP head [v_d, C]", Combination::MlpHead),
-    ] {
-        let (vocab, train, val) = frames_with_holdout(study, None)?;
-        let cfg = Env2VecConfig {
-            combination,
-            ..base_cfg
-        };
-        let (model, _) = train_env2vec(cfg, vocab, &train, &val)?;
-        combinations.push(AblationRow {
-            label: label.to_string(),
-            weights: model.params().num_weights(),
-            mae: score(study, &model, None)?,
-        });
+    let jobs = [
+        AblationJob::Combination("HadamardSum (Eq. 2)", Combination::HadamardSum),
+        AblationJob::Combination("Bilinear  (v_d R C)", Combination::Bilinear),
+        AblationJob::Combination("MLP head [v_d, C]", Combination::MlpHead),
+        AblationJob::Holdout(0, "testbed"),
+        AblationJob::Holdout(1, "sut"),
+        AblationJob::Holdout(2, "testcase"),
+        AblationJob::Holdout(3, "build"),
+        AblationJob::Attention,
+    ];
+    let slots = env2vec_par::slots(jobs.len());
+    env2vec_par::scope(|s| {
+        for (job, slot) in jobs.iter().zip(&slots) {
+            let base_cfg = &base_cfg;
+            s.spawn_named(job.span_name(), move || {
+                slot.set(run_job(study, base_cfg, job));
+            });
+        }
+    });
+    let mut rows = Vec::with_capacity(jobs.len());
+    for slot in &slots {
+        rows.push(crate::take_job_result(slot)?);
     }
+    // rows[7], rows[6], ... — pop in reverse to move out without clones.
+    let attention_row = rows.pop();
+    let holdout_rows: Vec<AblationRow> = rows.split_off(3);
+    let combinations = rows;
 
+    // 1. Combination operators.
     // 2. EM hold-out: full model, then each feature collapsed.
     let mut em_holdout = vec![AblationRow {
         label: "full model".to_string(),
         weights: combinations[0].weights,
         mae: combinations[0].mae,
     }];
-    for (f, name) in ["testbed", "sut", "testcase", "build"].iter().enumerate() {
-        let (vocab, train, val) = frames_with_holdout(study, Some(f))?;
-        let (model, _) = train_env2vec(base_cfg, vocab, &train, &val)?;
-        em_holdout.push(AblationRow {
-            label: format!("without {name}"),
-            weights: model.params().num_weights(),
-            mae: score(study, &model, Some(f))?,
-        });
-    }
+    em_holdout.extend(holdout_rows);
 
     // 3. Attention over the RU history (§6 future work) vs last-state.
     let mut attention = vec![AblationRow {
@@ -153,20 +217,7 @@ pub fn compute(study: &TelecomStudy) -> Result<AblationResult> {
         weights: combinations[0].weights,
         mae: combinations[0].mae,
     }];
-    {
-        let (vocab, train, val) = frames_with_holdout(study, None)?;
-        let cfg = Env2VecConfig {
-            attention: true,
-            history_window: base_cfg.history_window.max(4),
-            ..base_cfg
-        };
-        let (model, _) = train_env2vec(cfg, vocab, &train, &val)?;
-        attention.push(AblationRow {
-            label: format!("attention pool (window {})", base_cfg.history_window.max(4)),
-            weights: model.params().num_weights(),
-            mae: score(study, &model, None)?,
-        });
-    }
+    attention.extend(attention_row);
 
     Ok(AblationResult {
         combinations,

@@ -13,8 +13,10 @@
 
 use env2vec::config::Env2VecConfig;
 use env2vec::dataframe::Dataframe;
+use env2vec::model::RfnnModel;
 use env2vec::train::{train_env2vec, train_rfnn};
 use env2vec::vocab::EmVocabulary;
+use env2vec::Env2VecModel;
 use env2vec_baselines::forest;
 use env2vec_baselines::ridge::{self, ALPHA_GRID};
 use env2vec_baselines::svr::{self, Kernel};
@@ -256,24 +258,82 @@ pub fn evaluate_kdn(opts: &EvalOptions) -> Result<(Vec<VnfResults>, Vec<Signific
     };
     let nn_epochs = if opts.fast { 60 } else { 160 };
 
-    // Train pooled neural models once per run seed.
+    let grids = Grids {
+        fnn_widths,
+        dropouts,
+        depth_grid,
+        est_grid,
+        svr_cs,
+        svr_eps,
+        nn_epochs,
+    };
+
+    // Fan out every independent training job — one per pooled run seed,
+    // plus six per VNF — over the worker pool. Each job is a pure
+    // function of explicit seeds writing into its own slot, and the
+    // results are assembled below in fixed (run, VNF, method) order, so
+    // scheduling never reaches the numbers: output is bit-identical to
+    // the sequential evaluation at any thread count.
+    let n_vnfs = datasets.len();
+    let pooled_slots = env2vec_par::slots(opts.runs);
+    let ridge_slots = env2vec_par::slots(n_vnfs);
+    let ridge_ts_slots = env2vec_par::slots(n_vnfs);
+    let rfreg_slots = env2vec_par::slots(n_vnfs);
+    let svr_slots = env2vec_par::slots(n_vnfs);
+    let fnn_slots = env2vec_par::slots(n_vnfs);
+    let rfnn_slots = env2vec_par::slots(n_vnfs);
+
+    env2vec_par::scope(|s| {
+        for (run, slot) in pooled_slots.iter().enumerate() {
+            let (vocab, grids) = (&vocab, &grids);
+            let (pooled_train, pooled_val) = (&pooled_train, &pooled_val);
+            s.spawn_named(format!("eval/kdn/pooled/run{run}"), move || {
+                slot.set(train_pooled_run(
+                    opts,
+                    window,
+                    grids.nn_epochs,
+                    run,
+                    vocab,
+                    pooled_train,
+                    pooled_val,
+                ));
+            });
+        }
+        for (vi, (ds, frame)) in datasets.iter().zip(&frames).enumerate() {
+            let grids = &grids;
+            let vnf = ds.vnf.name();
+            let slot = &ridge_slots[vi];
+            s.spawn_named(format!("eval/kdn/{vnf}/ridge"), move || {
+                slot.set(fit_ridge(ds));
+            });
+            let slot = &ridge_ts_slots[vi];
+            s.spawn_named(format!("eval/kdn/{vnf}/ridge_ts"), move || {
+                slot.set(fit_ridge_ts(ds, window));
+            });
+            let slot = &rfreg_slots[vi];
+            s.spawn_named(format!("eval/kdn/{vnf}/rfreg"), move || {
+                slot.set(fit_rfreg(ds, grids, opts.seed));
+            });
+            let slot = &svr_slots[vi];
+            s.spawn_named(format!("eval/kdn/{vnf}/svr"), move || {
+                slot.set(fit_svr(ds, grids));
+            });
+            let slot = &fnn_slots[vi];
+            s.spawn_named(format!("eval/kdn/{vnf}/fnn"), move || {
+                slot.set(fit_fnn(ds, grids, opts));
+            });
+            let slot = &rfnn_slots[vi];
+            s.spawn_named(format!("eval/kdn/{vnf}/rfnn"), move || {
+                slot.set(fit_rfnn_per_vnf(frame, opts, grids.nn_epochs, window));
+            });
+        }
+    });
+
     let mut env2vec_models = Vec::new();
     let mut rfnn_all_models = Vec::new();
-    for run in 0..opts.runs {
-        let cfg = Env2VecConfig {
-            fnn_hidden: if opts.fast { 32 } else { 64 },
-            gru_hidden: if opts.fast { 8 } else { 16 },
-            history_window: window,
-            max_epochs: nn_epochs,
-            learning_rate: 2e-3,
-            patience: 16,
-            seed: opts.seed + run as u64 * 101,
-            dropout: 0.1,
-            ..Env2VecConfig::default()
-        };
-        let (m, _) = train_env2vec(cfg, vocab.clone(), &pooled_train, &pooled_val)?;
-        env2vec_models.push(m);
-        let (r, _) = train_rfnn(cfg, &pooled_train, &pooled_val)?;
+    for slot in &pooled_slots {
+        let (e, r) = crate::take_job_result(slot)?;
+        env2vec_models.push(e);
         rfnn_all_models.push(r);
     }
 
@@ -281,129 +341,19 @@ pub fn evaluate_kdn(opts: &EvalOptions) -> Result<(Vec<VnfResults>, Vec<Signific
     let mut env2vec_run_maes_all: Vec<f64> = Vec::new();
     let mut rfnn_run_maes_all: Vec<f64> = Vec::new();
 
-    for (ds, frame) in datasets.iter().zip(&frames) {
-        let (train_x, train_y) = ds.train();
-        let (val_x, val_y) = ds.validation();
-        let (test_x, test_y) = ds.test();
-        let mut methods = Vec::new();
+    for (vi, (ds, frame)) in datasets.iter().zip(&frames).enumerate() {
+        // Paper row order: the six per-VNF jobs, then the pooled models.
+        let mut methods = vec![
+            crate::take_job_result(&ridge_slots[vi])?,
+            crate::take_job_result(&ridge_ts_slots[vi])?,
+            crate::take_job_result(&rfreg_slots[vi])?,
+            crate::take_job_result(&svr_slots[vi])?,
+            crate::take_job_result(&fnn_slots[vi])?,
+            crate::take_job_result(&rfnn_slots[vi])?,
+        ];
 
-        // Ridge.
-        let (model, _) = ridge::fit_best_alpha(&train_x, train_y, &val_x, val_y, &ALPHA_GRID)?;
-        let pred = model.predict(&test_x)?;
-        methods.push(single("Ridge", &pred, test_y)?);
-
-        // Ridge_ts: history-augmented design matrix over the whole series,
-        // split at the same timesteps.
-        {
-            let (ax, ay, offset) = ridge::append_history(&ds.features, &ds.cpu, window)?;
-            let tr: Vec<usize> = (0..ds.n_train - offset).collect();
-            let va: Vec<usize> = (ds.n_train - offset..ds.n_train + ds.n_val - offset).collect();
-            let te: Vec<usize> = (ds.n_train + ds.n_val - offset..ax.rows()).collect();
-            let (model, _) = ridge::fit_best_alpha(
-                &ax.select_rows(&tr)?,
-                &ay[..tr.len()],
-                &ax.select_rows(&va)?,
-                &ay[tr.len()..tr.len() + va.len()],
-                &ALPHA_GRID,
-            )?;
-            let pred = model.predict(&ax.select_rows(&te)?)?;
-            methods.push(single("Ridge_ts", &pred, &ay[tr.len() + va.len()..])?);
-        }
-
-        // RFReg.
-        let (model, _, _) = forest::fit_best(
-            &train_x,
-            train_y,
-            &val_x,
-            val_y,
-            &depth_grid,
-            &est_grid,
-            opts.seed,
-        )?;
-        let pred = model.predict(&test_x)?;
-        methods.push(single("RFReg", &pred, test_y)?);
-
-        // SVR.
-        let kernels = Kernel::paper_grid(train_x.cols());
-        let (model, _, _) = svr::fit_best(
-            &train_x, train_y, &val_x, val_y, &kernels, &svr_cs, &svr_eps,
-        )?;
-        let pred = model.predict(&test_x)?;
-        methods.push(single("SVR", &pred, test_y)?);
-
-        // FNN: tune width/dropout on validation with the first seed, then
-        // average test scores over runs.
-        {
-            let mut best: Option<(usize, f64, f64)> = None;
-            for &w in &fnn_widths {
-                for &d in &dropouts {
-                    let m = FnnBaseline::train(
-                        &train_x, train_y, &val_x, val_y, w, d, opts.seed, nn_epochs,
-                    )?;
-                    let score = mae(&m.predict(&val_x)?, val_y)?;
-                    if best.map(|(_, _, s)| score < s).unwrap_or(true) {
-                        best = Some((w, d, score));
-                    }
-                }
-            }
-            // envlint: allow(no-panic) — the hyper-parameter grids above are
-            // non-empty literals, so at least one candidate was scored.
-            let (w, d, _) = best.expect("non-empty grid");
-            let mut maes = Vec::new();
-            let mut mses = Vec::new();
-            for run in 0..opts.runs {
-                let m = FnnBaseline::train(
-                    &train_x,
-                    train_y,
-                    &val_x,
-                    val_y,
-                    w,
-                    d,
-                    opts.seed + run as u64 * 101,
-                    nn_epochs,
-                )?;
-                let pred = m.predict(&test_x)?;
-                maes.push(mae(&pred, test_y)?);
-                mses.push(mse(&pred, test_y)?);
-            }
-            methods.push(MethodScores {
-                name: "FNN",
-                mae: RunStats::of(&maes)?,
-                mse: RunStats::of(&mses)?,
-                run_maes: maes,
-            });
-        }
-
-        // RFNN: per-VNF model with GRU + FNN, no embeddings.
-        {
-            let mut maes = Vec::new();
-            let mut mses = Vec::new();
-            for run in 0..opts.runs {
-                let cfg = Env2VecConfig {
-                    fnn_hidden: if opts.fast { 32 } else { 64 },
-                    gru_hidden: if opts.fast { 8 } else { 16 },
-                    history_window: window,
-                    max_epochs: nn_epochs,
-                    learning_rate: 3e-3,
-                    patience: 10,
-                    seed: opts.seed + run as u64 * 101,
-                    dropout: 0.1,
-                    ..Env2VecConfig::default()
-                };
-                let (m, _) = train_rfnn(cfg, &frame.train, &frame.val)?;
-                let pred = m.predict(&frame.test)?;
-                maes.push(mae(&pred, &frame.test.target)?);
-                mses.push(mse(&pred, &frame.test.target)?);
-            }
-            methods.push(MethodScores {
-                name: "RFNN",
-                mae: RunStats::of(&maes)?,
-                mse: RunStats::of(&mses)?,
-                run_maes: maes,
-            });
-        }
-
-        // RFNN_all and Env2Vec: the pooled models, scored on this VNF.
+        // RFNN_all and Env2Vec: the pooled models, scored on this VNF
+        // (prediction is cheap; no need to farm it out).
         {
             let mut maes = Vec::new();
             let mut mses = Vec::new();
@@ -455,6 +405,201 @@ pub fn evaluate_kdn(opts: &EvalOptions) -> Result<(Vec<VnfResults>, Vec<Signific
         });
     }
     Ok((out, significance))
+}
+
+/// Hyper-parameter grids resolved once from the run options and shared
+/// (immutably) by every parallel job.
+struct Grids {
+    fnn_widths: Vec<usize>,
+    dropouts: Vec<f64>,
+    depth_grid: Vec<usize>,
+    est_grid: Vec<usize>,
+    svr_cs: Vec<f64>,
+    svr_eps: Vec<f64>,
+    nn_epochs: usize,
+}
+
+/// Shared pooled-model config for run `run` (Env2Vec and RFNN_all).
+fn pooled_cfg(opts: &EvalOptions, window: usize, nn_epochs: usize, run: usize) -> Env2VecConfig {
+    Env2VecConfig {
+        fnn_hidden: if opts.fast { 32 } else { 64 },
+        gru_hidden: if opts.fast { 8 } else { 16 },
+        history_window: window,
+        max_epochs: nn_epochs,
+        learning_rate: 2e-3,
+        patience: 16,
+        seed: opts.seed + run as u64 * 101,
+        dropout: 0.1,
+        ..Env2VecConfig::default()
+    }
+}
+
+/// Trains the pooled Env2Vec + RFNN_all pair for one run seed.
+fn train_pooled_run(
+    opts: &EvalOptions,
+    window: usize,
+    nn_epochs: usize,
+    run: usize,
+    vocab: &EmVocabulary,
+    pooled_train: &Dataframe,
+    pooled_val: &Dataframe,
+) -> Result<(Env2VecModel, RfnnModel)> {
+    let cfg = pooled_cfg(opts, window, nn_epochs, run);
+    let (m, _) = train_env2vec(cfg, vocab.clone(), pooled_train, pooled_val)?;
+    let (r, _) = train_rfnn(cfg, pooled_train, pooled_val)?;
+    Ok((m, r))
+}
+
+/// `Ridge` row: closed-form fit on the current-timestep CFs.
+fn fit_ridge(ds: &KdnDataset) -> Result<MethodScores> {
+    let (train_x, train_y) = ds.train();
+    let (val_x, val_y) = ds.validation();
+    let (test_x, test_y) = ds.test();
+    let (model, _) = ridge::fit_best_alpha(&train_x, train_y, &val_x, val_y, &ALPHA_GRID)?;
+    let pred = model.predict(&test_x)?;
+    single("Ridge", &pred, test_y)
+}
+
+/// `Ridge_ts` row: history-augmented design matrix over the whole
+/// series, split at the same timesteps.
+fn fit_ridge_ts(ds: &KdnDataset, window: usize) -> Result<MethodScores> {
+    let (ax, ay, offset) = ridge::append_history(&ds.features, &ds.cpu, window)?;
+    let tr: Vec<usize> = (0..ds.n_train - offset).collect();
+    let va: Vec<usize> = (ds.n_train - offset..ds.n_train + ds.n_val - offset).collect();
+    let te: Vec<usize> = (ds.n_train + ds.n_val - offset..ax.rows()).collect();
+    let (model, _) = ridge::fit_best_alpha(
+        &ax.select_rows(&tr)?,
+        &ay[..tr.len()],
+        &ax.select_rows(&va)?,
+        &ay[tr.len()..tr.len() + va.len()],
+        &ALPHA_GRID,
+    )?;
+    let pred = model.predict(&ax.select_rows(&te)?)?;
+    single("Ridge_ts", &pred, &ay[tr.len() + va.len()..])
+}
+
+/// `RFReg` row: random-forest regressor tuned on validation.
+fn fit_rfreg(ds: &KdnDataset, grids: &Grids, seed: u64) -> Result<MethodScores> {
+    let (train_x, train_y) = ds.train();
+    let (val_x, val_y) = ds.validation();
+    let (test_x, test_y) = ds.test();
+    let (model, _, _) = forest::fit_best(
+        &train_x,
+        train_y,
+        &val_x,
+        val_y,
+        &grids.depth_grid,
+        &grids.est_grid,
+        seed,
+    )?;
+    let pred = model.predict(&test_x)?;
+    single("RFReg", &pred, test_y)
+}
+
+/// `SVR` row: support-vector regressor over the paper's kernel grid.
+fn fit_svr(ds: &KdnDataset, grids: &Grids) -> Result<MethodScores> {
+    let (train_x, train_y) = ds.train();
+    let (val_x, val_y) = ds.validation();
+    let (test_x, test_y) = ds.test();
+    let kernels = Kernel::paper_grid(train_x.cols());
+    let (model, _, _) = svr::fit_best(
+        &train_x,
+        train_y,
+        &val_x,
+        val_y,
+        &kernels,
+        &grids.svr_cs,
+        &grids.svr_eps,
+    )?;
+    let pred = model.predict(&test_x)?;
+    single("SVR", &pred, test_y)
+}
+
+/// `FNN` row: tune width/dropout on validation with the first seed, then
+/// average test scores over runs.
+fn fit_fnn(ds: &KdnDataset, grids: &Grids, opts: &EvalOptions) -> Result<MethodScores> {
+    let (train_x, train_y) = ds.train();
+    let (val_x, val_y) = ds.validation();
+    let (test_x, test_y) = ds.test();
+    let mut best: Option<(usize, f64, f64)> = None;
+    for &w in &grids.fnn_widths {
+        for &d in &grids.dropouts {
+            let m = FnnBaseline::train(
+                &train_x,
+                train_y,
+                &val_x,
+                val_y,
+                w,
+                d,
+                opts.seed,
+                grids.nn_epochs,
+            )?;
+            let score = mae(&m.predict(&val_x)?, val_y)?;
+            if best.map(|(_, _, s)| score < s).unwrap_or(true) {
+                best = Some((w, d, score));
+            }
+        }
+    }
+    // envlint: allow(no-panic) — the hyper-parameter grids above are
+    // non-empty literals, so at least one candidate was scored.
+    let (w, d, _) = best.expect("non-empty grid");
+    let mut maes = Vec::new();
+    let mut mses = Vec::new();
+    for run in 0..opts.runs {
+        let m = FnnBaseline::train(
+            &train_x,
+            train_y,
+            &val_x,
+            val_y,
+            w,
+            d,
+            opts.seed + run as u64 * 101,
+            grids.nn_epochs,
+        )?;
+        let pred = m.predict(&test_x)?;
+        maes.push(mae(&pred, test_y)?);
+        mses.push(mse(&pred, test_y)?);
+    }
+    Ok(MethodScores {
+        name: "FNN",
+        mae: RunStats::of(&maes)?,
+        mse: RunStats::of(&mses)?,
+        run_maes: maes,
+    })
+}
+
+/// `RFNN` row: per-VNF model with GRU + FNN, no embeddings.
+fn fit_rfnn_per_vnf(
+    frame: &KdnFrames,
+    opts: &EvalOptions,
+    nn_epochs: usize,
+    window: usize,
+) -> Result<MethodScores> {
+    let mut maes = Vec::new();
+    let mut mses = Vec::new();
+    for run in 0..opts.runs {
+        let cfg = Env2VecConfig {
+            fnn_hidden: if opts.fast { 32 } else { 64 },
+            gru_hidden: if opts.fast { 8 } else { 16 },
+            history_window: window,
+            max_epochs: nn_epochs,
+            learning_rate: 3e-3,
+            patience: 10,
+            seed: opts.seed + run as u64 * 101,
+            dropout: 0.1,
+            ..Env2VecConfig::default()
+        };
+        let (m, _) = train_rfnn(cfg, &frame.train, &frame.val)?;
+        let pred = m.predict(&frame.test)?;
+        maes.push(mae(&pred, &frame.test.target)?);
+        mses.push(mse(&pred, &frame.test.target)?);
+    }
+    Ok(MethodScores {
+        name: "RFNN",
+        mae: RunStats::of(&maes)?,
+        mse: RunStats::of(&mses)?,
+        run_maes: maes,
+    })
 }
 
 fn single(name: &'static str, pred: &[f64], actual: &[f64]) -> Result<MethodScores> {

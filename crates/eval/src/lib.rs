@@ -30,3 +30,18 @@ pub mod render;
 pub mod telecom_study;
 
 pub use options::EvalOptions;
+
+/// Takes a parallel job's result out of its slot.
+///
+/// An empty slot means the job never ran, which [`env2vec_par::scope`]
+/// rules out for completed scopes — but the experiment drivers convert
+/// it into an error rather than panicking, matching the crate's
+/// no-panic policy.
+pub(crate) fn take_job_result<T>(
+    slot: &env2vec_par::Slot<env2vec_linalg::Result<T>>,
+) -> env2vec_linalg::Result<T> {
+    slot.take()
+        .unwrap_or(Err(env2vec_linalg::Error::InvalidArgument {
+            what: "parallel eval job produced no result",
+        }))
+}

@@ -16,8 +16,12 @@
 //! - [`stats`]: descriptive statistics (Welford mean/variance, quantiles,
 //!   Pearson correlation) used throughout the evaluation harness.
 //!
-//! All routines are deterministic and allocation-explicit; none spawn
-//! threads. Fallible operations return [`Error`] rather than panicking.
+//! All routines are deterministic and allocation-explicit. Large
+//! `matmul`/`matvec`/`col_means` calls fan out over the
+//! [`env2vec_par`] worker pool, under that crate's contract that results
+//! stay bit-identical to single-threaded execution (fixed chunk
+//! boundaries, fixed reduction order). Fallible operations return
+//! [`Error`] rather than panicking.
 
 #![warn(missing_docs)]
 

@@ -11,9 +11,78 @@
 // kernels; iterator rewrites would obscure them.
 #![allow(clippy::needless_range_loop)]
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
+
+/// Minimum `rows * cols * rhs.cols` before `matmul` fans row blocks out
+/// to the worker pool. Below this the spawn/join overhead (~µs per
+/// scope) is comparable to the multiply itself. Per-output-row work is
+/// identical in both paths, so the gate affects wall-clock only, never
+/// bits.
+const MATMUL_PAR_FLOPS: usize = 1 << 17;
+
+/// Rows per `matmul` job: big enough to amortise queue traffic, small
+/// enough to balance load across workers on paper-sized matrices.
+const MATMUL_ROW_BLOCK: usize = 16;
+
+/// Minimum `rows * cols` before `matvec` parallelises, mirroring
+/// [`MATMUL_PAR_FLOPS`].
+const MATVEC_PAR_ELEMS: usize = 1 << 17;
+
+/// Rows per `matvec` job (each row is a single dot product).
+const MATVEC_ROW_BLOCK: usize = 256;
+
+/// Minimum row count before `col_means` switches to chunked
+/// accumulation. Unlike the matmul gate this is a *size-only* gate — the
+/// chunked path reassociates the column sums, so it must be taken
+/// identically at every thread count (including 1) to keep results
+/// thread-count independent.
+const COL_STATS_PAR_ROWS: usize = 8192;
+
+/// Rows per `col_means` chunk; boundaries are fixed by
+/// [`env2vec_par::chunk_ranges`] and the fold runs in ascending chunk
+/// order, so the reassociation is deterministic.
+const COL_STATS_CHUNK: usize = 2048;
+
+/// Per-row finiteness of `rhs`, computed at most once per `matmul` call
+/// and only when a bitwise zero is first encountered on the left.
+///
+/// The sparsity skip in [`mul_row_into`] is exact only for finite rhs
+/// rows: IEEE-754 defines `0.0 * NaN = NaN` and `0.0 * inf = NaN`, so
+/// skipping a zero against a non-finite row would silently launder the
+/// very divergence the `numeric-sanitizer` feature exists to surface.
+fn rhs_row_is_finite(rhs: &Matrix, cache: &OnceLock<Vec<bool>>, k: usize) -> bool {
+    cache.get_or_init(|| {
+        (0..rhs.rows)
+            .map(|r| rhs.row(r).iter().all(|x| x.is_finite()))
+            .collect()
+    })[k]
+}
+
+/// Accumulates `a_row * rhs` into `out_row` (one output row of a
+/// matmul). Shared verbatim by the sequential and parallel paths so the
+/// per-row result is bit-identical regardless of scheduling.
+fn mul_row_into(
+    a_row: &[f64],
+    rhs: &Matrix,
+    out_row: &mut [f64],
+    rhs_row_finite: &OnceLock<Vec<bool>>,
+) {
+    for (k, &a) in a_row.iter().enumerate() {
+        // envlint: allow(float-cmp) — exact sparsity skip: only a bitwise
+        // zero contributes nothing, and only against a finite rhs row.
+        if a == 0.0 && rhs_row_is_finite(rhs, rhs_row_finite, k) {
+            continue;
+        }
+        let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += a * b;
+        }
+    }
+}
 
 /// A dense matrix of `f64` stored in row-major order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -227,6 +296,11 @@ impl Matrix {
 
     /// Matrix product `self * rhs` using a cache-friendly `ikj` loop order.
     ///
+    /// Large products (see [`MATMUL_PAR_FLOPS`]) are computed as parallel
+    /// row blocks; every output row is produced by the exact same
+    /// accumulation order either way, so the result is bit-identical for
+    /// any thread count.
+    ///
     /// Returns an error when the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
@@ -237,25 +311,37 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                // envlint: allow(float-cmp) — exact sparsity skip: only a bitwise
-                // zero contributes nothing to the product row.
-                if a == 0.0 {
-                    continue;
+        let rhs_row_finite = OnceLock::new();
+        let flops = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
+        if flops >= MATMUL_PAR_FLOPS && env2vec_par::max_threads() > 1 {
+            let block_elems = MATMUL_ROW_BLOCK * rhs.cols;
+            env2vec_par::scope(|s| {
+                for (bi, out_block) in out.data.chunks_mut(block_elems).enumerate() {
+                    let rhs_row_finite = &rhs_row_finite;
+                    s.spawn(move || {
+                        for (r, out_row) in out_block.chunks_mut(rhs.cols).enumerate() {
+                            let i = bi * MATMUL_ROW_BLOCK + r;
+                            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                            mul_row_into(a_row, rhs, out_row, rhs_row_finite);
+                        }
+                    });
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+            });
+        } else {
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                mul_row_into(a_row, rhs, out_row, &rhs_row_finite);
             }
         }
         Ok(out)
     }
 
     /// Matrix-vector product `self * v`.
+    ///
+    /// Parallelised over row blocks above [`MATVEC_PAR_ELEMS`]; each
+    /// output element is a single dot product computed identically in
+    /// both paths.
     ///
     /// Returns an error when `v.len() != cols`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
@@ -267,9 +353,17 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        let dot = |i: usize| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+        if self.rows.saturating_mul(self.cols) >= MATVEC_PAR_ELEMS {
+            env2vec_par::par_for_chunks(&mut out, MATVEC_ROW_BLOCK, |bi, block| {
+                for (r, o) in block.iter_mut().enumerate() {
+                    *o = dot(bi * MATVEC_ROW_BLOCK + r);
+                }
+            });
+        } else {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = dot(i);
+            }
         }
         Ok(out)
     }
@@ -450,16 +544,46 @@ impl Matrix {
     }
 
     /// Per-column means, or an empty vector for a matrix with no rows.
+    ///
+    /// Tall matrices (≥ [`COL_STATS_PAR_ROWS`] rows) accumulate per-chunk
+    /// partial sums folded in fixed chunk order. The gate is on *size
+    /// only*: the chunked path reassociates the sum, so taking it at
+    /// every thread count (including 1) is what keeps the result
+    /// thread-count independent.
     pub fn col_means(&self) -> Vec<f64> {
         if self.rows == 0 {
             return vec![0.0; self.cols];
         }
-        let mut means = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            for (m, &x) in means.iter_mut().zip(self.row(i)) {
-                *m += x;
+        let mut means = if self.rows >= COL_STATS_PAR_ROWS {
+            env2vec_par::par_map_reduce(
+                self.rows,
+                COL_STATS_CHUNK,
+                |range| {
+                    let mut partial = vec![0.0; self.cols];
+                    for i in range {
+                        for (m, &x) in partial.iter_mut().zip(self.row(i)) {
+                            *m += x;
+                        }
+                    }
+                    partial
+                },
+                |mut acc, partial| {
+                    for (a, p) in acc.iter_mut().zip(&partial) {
+                        *a += p;
+                    }
+                    acc
+                },
+            )
+            .unwrap_or_else(|| vec![0.0; self.cols])
+        } else {
+            let mut sums = vec![0.0; self.cols];
+            for i in 0..self.rows {
+                for (m, &x) in sums.iter_mut().zip(self.row(i)) {
+                    *m += x;
+                }
             }
-        }
+            sums
+        };
         for m in &mut means {
             *m /= self.rows as f64;
         }
@@ -472,11 +596,13 @@ impl Matrix {
         let mut out = Matrix::zeros(n, n);
         for row in 0..self.rows {
             let r = self.row(row);
+            let row_finite = r.iter().all(|x| x.is_finite());
             for i in 0..n {
                 let ri = r[i];
                 // envlint: allow(float-cmp) — exact sparsity skip: only a bitwise
-                // zero contributes nothing to the accumulation.
-                if ri == 0.0 {
+                // zero contributes nothing, and only within a finite row
+                // (IEEE-754: 0·NaN = 0·inf = NaN).
+                if ri == 0.0 && row_finite {
                     continue;
                 }
                 for j in i..n {
@@ -621,6 +747,87 @@ mod tests {
         let explicit = a.transpose().matmul(&a).unwrap();
         for (x, y) in g.as_slice().iter().zip(explicit.as_slice()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_times_nonfinite_propagates_through_matmul() {
+        // Regression: the sparsity skip used to turn 0·NaN and 0·inf
+        // into 0.0, hiding non-finite values from downstream checks.
+        let zero = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
+        let nan = Matrix::from_vec(1, 1, vec![f64::NAN]).unwrap();
+        let inf = Matrix::from_vec(1, 1, vec![f64::INFINITY]).unwrap();
+        assert!(zero.matmul(&nan).unwrap().get(0, 0).is_nan());
+        assert!(zero.matmul(&inf).unwrap().get(0, 0).is_nan());
+        // Mixed case: a finite rhs row may still be skipped, a
+        // non-finite one must not be.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![f64::NAN, 2.0, 3.0, 4.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "0·NaN lost: {}", c.get(0, 0));
+        // The finite entries of the non-finite row still multiply
+        // normally: 0·2 + 1·4 = 4.
+        assert_eq!(c.get(0, 1), 4.0);
+        let finite_b = Matrix::from_vec(2, 2, vec![9.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(a.matmul(&finite_b).unwrap().as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_times_nonfinite_propagates_through_gram() {
+        let m = Matrix::from_vec(1, 2, vec![0.0, f64::INFINITY]).unwrap();
+        let g = m.gram();
+        // Column 0 is all zeros but shares a row with inf: 0·0 = 0 is
+        // fine, 0·inf must be NaN.
+        assert_eq!(g.get(0, 0), 0.0);
+        assert!(g.get(0, 1).is_nan());
+        assert!(g.get(1, 0).is_nan());
+        assert!(g.get(1, 1).is_infinite());
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_sequential() {
+        // 64·64·64 = 262144 flops crosses MATMUL_PAR_FLOPS.
+        let a = Matrix::from_fn(64, 64, |i, j| ((i * 37 + j * 17) % 101) as f64 / 7.0 - 5.0);
+        let b = Matrix::from_fn(64, 64, |i, j| ((i * 13 + j * 29) % 97) as f64 / 3.0 - 11.0);
+        let sequential = env2vec_par::with_thread_limit(1, || a.matmul(&b).unwrap());
+        for threads in [2, 4] {
+            let parallel = env2vec_par::with_thread_limit(threads, || a.matmul(&b).unwrap());
+            for (s, p) in sequential.as_slice().iter().zip(parallel.as_slice()) {
+                assert_eq!(s.to_bits(), p.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matvec_is_bit_identical_to_sequential() {
+        // 512·512 = 262144 elements crosses MATVEC_PAR_ELEMS.
+        let m = Matrix::from_fn(512, 512, |i, j| ((i * 31 + j * 7) % 89) as f64 / 9.0 - 4.0);
+        let v: Vec<f64> = (0..512)
+            .map(|i| ((i * 11) % 53) as f64 / 5.0 - 5.0)
+            .collect();
+        let sequential = env2vec_par::with_thread_limit(1, || m.matvec(&v).unwrap());
+        let parallel = env2vec_par::with_thread_limit(4, || m.matvec(&v).unwrap());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunked_col_means_is_thread_count_independent() {
+        // 8192 rows crosses COL_STATS_PAR_ROWS, so the chunked
+        // (reassociated) path runs at every thread count.
+        let m = Matrix::from_fn(8192, 3, |i, j| ((i * 7 + j) % 1009) as f64 * 1e-3 - 0.5);
+        let one = env2vec_par::with_thread_limit(1, || m.col_means());
+        let four = env2vec_par::with_thread_limit(4, || m.col_means());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the chunked sum is still the right mean.
+        let naive: Vec<f64> = (0..3)
+            .map(|j| m.col(j).iter().sum::<f64>() / 8192.0)
+            .collect();
+        for (a, b) in one.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-9);
         }
     }
 

@@ -77,6 +77,10 @@ pub struct Adam {
     t: u64,
     m: Vec<Matrix>,
     v: Vec<Matrix>,
+    /// Identity of the parameter set the moments belong to: one
+    /// `(name, shape)` per parameter, in registration order. Moments are
+    /// meaningless for any other set, so a mismatch resets the state.
+    sig: Vec<(String, (usize, usize))>,
 }
 
 impl Adam {
@@ -91,6 +95,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            sig: Vec::new(),
         }
     }
 
@@ -100,12 +105,29 @@ impl Adam {
     }
 
     fn ensure_state(&mut self, params: &ParamSet) {
-        if self.m.len() != params.len() {
+        // Key the moment buffers on parameter identity (names + shapes),
+        // not just the count: a rebuilt set with the same length but
+        // different parameters would otherwise silently reuse stale
+        // moments — and a stale `t` would under-correct the bias of the
+        // fresh ones.
+        let matches = self.sig.len() == params.len()
+            && params
+                .iter()
+                .zip(&self.sig)
+                .all(|((_, name, value), (sig_name, sig_shape))| {
+                    name == sig_name && value.shape() == *sig_shape
+                });
+        if !matches {
             self.m = params
                 .iter()
                 .map(|(_, _, v)| Matrix::zeros(v.rows(), v.cols()))
                 .collect();
             self.v = self.m.clone();
+            self.sig = params
+                .iter()
+                .map(|(_, name, value)| (name.to_string(), value.shape()))
+                .collect();
+            self.t = 0;
         }
     }
 }
@@ -195,6 +217,59 @@ mod tests {
         opt.step(&mut ps, &grads).unwrap();
         let after = ps.value(ps.find("w").unwrap()).get(0, 0);
         assert!(((before - after) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rebuilt_param_set_resets_adam_state() {
+        // Regression: state was keyed on parameter *count* only, so a
+        // rebuilt set with the same length but different shapes (here
+        // even the same element count, so nothing tripped a shape check)
+        // silently reused stale moments and a stale step counter.
+        let mut opt = Adam::new(0.01);
+        let mut ps = bowl_params(); // one (2,2) parameter "w"
+        for _ in 0..5 {
+            let grads = quad_grad(&ps, 0.0);
+            opt.step(&mut ps, &grads).unwrap();
+        }
+        assert_eq!(opt.steps(), 5);
+
+        // Same param count, same element count, different shape.
+        let mut rebuilt = ParamSet::new();
+        rebuilt.add("w", Matrix::filled(1, 4, 5.0)).unwrap();
+        let before = rebuilt.value(rebuilt.find("w").unwrap()).clone();
+        let grads = quad_grad(&rebuilt, 0.0);
+        opt.step(&mut rebuilt, &grads).unwrap();
+        let after = rebuilt.value(rebuilt.find("w").unwrap());
+        // A fresh (reset) Adam's first bias-corrected step has magnitude
+        // ≈ α for every element; stale moments/t break that.
+        for (b, a) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!(
+                ((b - a) - 0.01).abs() < 1e-6,
+                "stale Adam state reused across rebuilt ParamSet: step {}",
+                b - a
+            );
+        }
+        assert_eq!(opt.steps(), 1, "step counter must reset with the moments");
+    }
+
+    #[test]
+    fn renamed_param_set_resets_adam_state() {
+        let mut opt = Adam::new(0.01);
+        let mut ps = bowl_params();
+        for _ in 0..3 {
+            let grads = quad_grad(&ps, 0.0);
+            opt.step(&mut ps, &grads).unwrap();
+        }
+        // Same shape, different parameter name: still a different model.
+        let mut other = ParamSet::new();
+        other.add("embedding", Matrix::filled(2, 2, 5.0)).unwrap();
+        let grads = quad_grad(&other, 0.0);
+        opt.step(&mut other, &grads).unwrap();
+        assert_eq!(opt.steps(), 1);
+        // Unchanged set keeps accumulating instead of resetting.
+        let grads = quad_grad(&other, 0.0);
+        opt.step(&mut other, &grads).unwrap();
+        assert_eq!(opt.steps(), 2);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod scrape;
 pub mod span;
 
 pub use logging::{set_verbose, verbose};
-pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry};
+pub use metrics::{
+    Counter, Gauge, Histogram, LabelSet, MetricSample, MetricValue, MetricsRegistry,
+};
 pub use scrape::scrape_into;
 pub use span::{SpanCollector, SpanGuard, SpanRecord};
 

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use env2vec_telemetry::LabelSet;
+pub use env2vec_telemetry::LabelSet;
 use parking_lot::RwLock;
 
 /// Monotonically increasing count.

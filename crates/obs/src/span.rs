@@ -48,8 +48,14 @@ struct ThreadState {
 }
 
 thread_local! {
-    static THREAD_STATE: std::cell::RefCell<ThreadState> =
-        const { std::cell::RefCell::new(ThreadState { stack: Vec::new(), tid: 0 }) };
+    // Shared (not RefCell) so a guard can carry a handle to the thread
+    // state it was *started* on: when a guard is dropped on another
+    // thread — e.g. a `par` pool worker finishing while a sibling span is
+    // open elsewhere — the span id must be removed from the owner's
+    // stack, not the dropper's, or the owner's parent/depth tracking
+    // would be corrupted for every later span.
+    static THREAD_STATE: std::sync::Arc<Mutex<ThreadState>> =
+        std::sync::Arc::new(Mutex::new(ThreadState { stack: Vec::new(), tid: 0 }));
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -83,8 +89,9 @@ impl SpanCollector {
     /// Starts a span; it ends (and is recorded) when the guard drops.
     pub fn start(&self, name: impl Into<String>, args: Vec<(String, String)>) -> SpanGuard<'_> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (parent, depth, thread) = THREAD_STATE.with(|st| {
-            let mut st = st.borrow_mut();
+        let owner = THREAD_STATE.with(std::sync::Arc::clone);
+        let (parent, depth, thread) = {
+            let mut st = owner.lock();
             if st.tid == 0 {
                 st.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             }
@@ -92,7 +99,7 @@ impl SpanCollector {
             let depth = st.stack.len();
             st.stack.push(id);
             (parent, depth, st.tid)
-        });
+        };
         SpanGuard {
             collector: self,
             record: Some(SpanRecord {
@@ -106,23 +113,27 @@ impl SpanCollector {
                 depth,
             }),
             started: Instant::now(),
+            owner,
         }
     }
 
-    fn finish(&self, mut record: SpanRecord, started: Instant) {
+    fn finish(&self, mut record: SpanRecord, started: Instant, owner: &Mutex<ThreadState>) {
         record.dur_us = started.elapsed().as_micros() as u64;
-        THREAD_STATE.with(|st| {
-            let mut st = st.borrow_mut();
-            // Guards are dropped in reverse start order on a thread, so
-            // the top of the stack is this span.
+        {
+            // Pop from the stack of the thread the span *started* on —
+            // which, for guards moved into pool jobs, is not necessarily
+            // the thread running this drop.
+            let mut st = owner.lock();
+            // Guards are dropped in reverse start order in the common
+            // case, so the top of the stack is this span.
             if st.stack.last() == Some(&record.id) {
                 st.stack.pop();
             } else {
-                // Out-of-order drop (guard moved across threads or held
-                // past its parent): remove wherever it is.
+                // Out-of-order drop (guard held past its parent): remove
+                // wherever it is.
                 st.stack.retain(|&id| id != record.id);
             }
-        });
+        }
         let mut records = self.records.lock();
         if records.len() < MAX_SPANS {
             records.push(record);
@@ -236,6 +247,9 @@ pub struct SpanGuard<'a> {
     collector: &'a SpanCollector,
     record: Option<SpanRecord>,
     started: Instant,
+    /// Nesting state of the thread the span started on; finishing must
+    /// mutate this state even when the guard drops on another thread.
+    owner: std::sync::Arc<Mutex<ThreadState>>,
 }
 
 impl SpanGuard<'_> {
@@ -255,7 +269,7 @@ impl SpanGuard<'_> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(record) = self.record.take() {
-            self.collector.finish(record, self.started);
+            self.collector.finish(record, self.started, &self.owner);
         }
     }
 }
@@ -396,6 +410,47 @@ mod tests {
         }
         // All span ids are unique across threads.
         assert_eq!(by_id.len(), records.len());
+    }
+
+    #[test]
+    fn cross_thread_drop_does_not_corrupt_origin_stack() {
+        // A guard started here but dropped on a worker thread (the shape
+        // `par::scope` produces when a job outlives its spawner's span)
+        // must still unwind *this* thread's stack.
+        let c: &'static SpanCollector = Box::leak(Box::new(SpanCollector::new()));
+        let moved = c.start("moved", vec![]);
+        std::thread::spawn(move || drop(moved))
+            .join()
+            .expect("dropper thread does not panic");
+        {
+            let _after = c.start("after", vec![]);
+        }
+        let records = c.records();
+        let after = records
+            .iter()
+            .find(|r| r.name == "after")
+            .expect("span recorded");
+        // Pre-fix, "moved"'s id lingered on this thread's stack, so
+        // "after" was misfiled as its child at depth 1.
+        assert_eq!(after.parent, 0, "stale parent after cross-thread drop");
+        assert_eq!(after.depth, 0, "stale depth after cross-thread drop");
+    }
+
+    #[test]
+    fn out_of_order_drop_on_same_thread_recovers() {
+        let c = SpanCollector::new();
+        let outer = c.start("outer", vec![]);
+        let inner = c.start("inner", vec![]);
+        // Parent dropped while the child is still open.
+        drop(outer);
+        drop(inner);
+        {
+            let _next = c.start("next", vec![]);
+        }
+        let records = c.records();
+        let next = records.iter().find(|r| r.name == "next").expect("recorded");
+        assert_eq!(next.parent, 0);
+        assert_eq!(next.depth, 0);
     }
 
     #[test]

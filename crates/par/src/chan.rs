@@ -1,0 +1,133 @@
+//! Minimal multi-producer/multi-consumer job channel.
+//!
+//! `std::sync::mpsc` is single-consumer and the vendored `parking_lot`
+//! offers no condition variable, so the pool's queue is a plain
+//! `Mutex<VecDeque>` + `Condvar` pair from `std`. Poisoning is recovered
+//! rather than propagated: the queue holds only boxed closures and a
+//! panicking producer/consumer cannot leave it in a torn state, so the
+//! lock data is always valid.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Sending half; cloneable across producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value and wakes one blocked receiver.
+    pub fn send(&self, value: T) {
+        self.shared.lock().push_back(value);
+        self.shared.ready.notify_one();
+    }
+}
+
+/// Receiving half; cloneable across consumers.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value is available.
+    pub fn recv(&self) -> T {
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                return value;
+            }
+            queue = self
+                .shared
+                .ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Pops a value if one is immediately available.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.lock().pop_front()
+    }
+
+    /// Number of queued values at this instant.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+}
+
+/// Creates a connected mpmc channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = channel();
+        tx.send(1);
+        tx.send(2);
+        tx.send(3);
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.recv(), 2);
+        assert_eq!(rx.recv(), 3);
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = channel();
+        let sender = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv());
+        }
+        sender.join().unwrap();
+        // Single producer, single consumer: FIFO order is preserved.
+        assert_eq!(got, (0..100).collect::<Vec<i32>>());
+    }
+}

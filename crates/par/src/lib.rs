@@ -1,0 +1,586 @@
+//! Deterministic data-parallel execution for the Env2Vec workspace.
+//!
+//! A from-scratch scoped worker pool — `std::thread` plus a hand-rolled
+//! mpmc channel, no external dependencies — built around one contract:
+//!
+//! > **Parallel results are bit-identical to sequential results, for any
+//! > worker count.**
+//!
+//! Three rules make that hold:
+//!
+//! 1. **Fixed decomposition.** Chunk boundaries ([`chunk_ranges`]) are a
+//!    function of the problem size and the chunk length only — never of
+//!    the thread count. The same work units exist whether one thread or
+//!    sixteen execute them.
+//! 2. **Fixed-order reduction.** [`par_map_reduce`] folds partial results
+//!    in ascending chunk order, and [`par_map`] returns outputs in input
+//!    order, regardless of completion order. Float addition is not
+//!    associative; fixing the association fixes the bits.
+//! 3. **Independent units.** Callers may only spawn jobs that share no
+//!    mutable state (disjoint `&mut` chunks or pure functions of explicit
+//!    seeds). The API enforces the disjointness ([`par_for_chunks`]
+//!    splits via `chunks_mut`); purity is the caller's obligation.
+//!
+//! Scheduling is deliberately unobservable: which worker runs a job and
+//! in what order affects wall-clock time only.
+//!
+//! # Thread-count resolution
+//!
+//! [`max_threads`] resolves, in order: the innermost
+//! [`with_thread_limit`] on this thread, the process-wide
+//! [`set_threads`] value (the `repro --threads` flag), the
+//! `ENV2VEC_THREADS` environment variable, and finally
+//! `std::thread::available_parallelism()`.
+//!
+//! # Nesting
+//!
+//! A scope opened on a pool worker (e.g. a parallel `matmul` inside an
+//! eval job) runs its jobs inline on that worker: the pool is finite, so
+//! blocking a worker on jobs that need a worker can deadlock, and nested
+//! fan-out would oversubscribe the machine anyway. With `threads = 1`
+//! everything runs inline on the caller and the pool is never touched.
+//!
+//! # Panics
+//!
+//! A panicking job does not abort the process or poison the pool: the
+//! first panic payload is captured, every remaining job of the scope
+//! still runs to completion (the borrows a scope hands out must not
+//! outlive it, even on unwind), and the payload is re-raised from
+//! [`scope`] on the spawning thread.
+
+mod chan;
+mod pool;
+
+pub use pool::spawned_workers;
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Environment variable consulted when no explicit thread count is set.
+pub const THREADS_ENV_VAR: &str = "ENV2VEC_THREADS";
+
+/// Process-wide thread limit; 0 means "not set".
+static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Innermost `with_thread_limit` on this thread; 0 means "not set".
+    static LOCAL_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Scope bookkeeping data (counters, an `Option` payload) is valid after
+/// any partial update, and job panics are already funnelled through
+/// `catch_unwind`, so propagating poison would only turn a reported
+/// panic into a second, less informative one.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+fn default_parallelism() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(value) = std::env::var(THREADS_ENV_VAR) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Sets the process-wide thread limit (e.g. from `repro --threads`).
+///
+/// Values are clamped to at least 1. Takes precedence over
+/// `ENV2VEC_THREADS` and `available_parallelism`, but is itself
+/// overridden by an active [`with_thread_limit`].
+pub fn set_threads(n: usize) {
+    THREAD_LIMIT.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f` with the current thread's limit set to `n`, restoring the
+/// previous limit afterwards (also on panic).
+pub fn with_thread_limit<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_LIMIT.with(|l| l.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_LIMIT.with(|l| l.replace(n.max(1))));
+    f()
+}
+
+/// The effective thread count for scopes opened on this thread.
+pub fn max_threads() -> usize {
+    let local = LOCAL_LIMIT.with(Cell::get);
+    if local != 0 {
+        return local;
+    }
+    let global = THREAD_LIMIT.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    default_parallelism()
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+struct ScopeState {
+    /// Spawned-but-unfinished job count, with a condvar for the owner to
+    /// wait on. `std::sync` because the vendored `parking_lot` has no
+    /// `Condvar`.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload raised by a job of this scope.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+/// Handle for spawning jobs inside a [`scope`] call.
+///
+/// The `'env` lifetime lets jobs borrow from the scope's environment —
+/// the pool erases the lifetime internally, and `scope` does not return
+/// until every job has finished, so the borrows stay valid.
+pub struct Scope<'env> {
+    state: Arc<ScopeState>,
+    inline: bool,
+    /// Invariant over `'env`, mirroring `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Runs `f` on the pool (or inline for single-threaded/nested
+    /// scopes). Completion order across jobs is unspecified; determinism
+    /// must come from the caller writing to disjoint destinations.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if self.inline {
+            f();
+            return;
+        }
+        *lock(&self.state.pending) += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the only thing done with the transmuted box is calling
+        // it once. `scope` cannot return before `pending` drops to zero —
+        // the completion guard waits even while unwinding — so the call
+        // happens while every `'env` borrow captured by the closure is
+        // still live, and the box is dropped by then.
+        let job: pool::Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        pool::submit(Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut slot = lock(&state.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut pending = lock(&state.pending);
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        }));
+    }
+
+    /// Like [`Scope::spawn`], wrapping the job in an [`env2vec_obs`] span
+    /// recorded on whichever thread executes it.
+    pub fn spawn_named<F>(&self, name: impl Into<String>, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let name = name.into();
+        self.spawn(move || {
+            let _span = env2vec_obs::collector().start(name, Vec::new());
+            f();
+        });
+    }
+}
+
+/// Waits for all of a scope's jobs, helping to drain the queue.
+///
+/// Lives in a `Drop` impl so the wait happens even when the scope body
+/// panics — the safety of `Scope::spawn`'s lifetime erasure depends on
+/// it.
+struct Completion<'a>(&'a ScopeState);
+
+impl Drop for Completion<'_> {
+    fn drop(&mut self) {
+        // Run queued jobs on this thread instead of sleeping: with k
+        // workers the scope owner is the (k+1)-th executor, and if the OS
+        // refused us workers entirely this loop alone completes the
+        // scope (no deadlock by construction).
+        loop {
+            if *lock(&self.0.pending) == 0 {
+                return;
+            }
+            match pool::try_steal() {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        // Queue drained; the remaining jobs are in flight on workers.
+        let mut pending = lock(&self.0.pending);
+        while *pending > 0 {
+            pending = wait(&self.0.done, pending);
+        }
+    }
+}
+
+/// Opens a fork/join scope: `f` spawns jobs, and `scope` returns only
+/// after every job has completed. The first panic raised by a job is
+/// re-raised here on the calling thread.
+pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
+    let threads = max_threads();
+    let inline = threads <= 1 || pool::on_worker_thread();
+    let scope = Scope {
+        state: Arc::new(ScopeState::new()),
+        inline,
+        _env: PhantomData,
+    };
+    if !inline {
+        pool::ensure_workers(threads - 1);
+        env2vec_obs::metrics().counter("par_scopes_total").inc();
+    }
+    let result = {
+        let _completion = Completion(&scope.state);
+        f(&scope)
+    };
+    let payload = lock(&scope.state.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+    result
+}
+
+/// A write-once cell for collecting job results in a fixed order.
+///
+/// Workers `set` into their own slot; after the scope joins, the owner
+/// `take`s the slots in input order — completion order never leaks into
+/// the assembled output.
+pub struct Slot<T>(Mutex<Option<T>>);
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slot<T> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Slot(Mutex::new(None))
+    }
+
+    /// Stores a value, replacing any previous one.
+    pub fn set(&self, value: T) {
+        *lock(&self.0) = Some(value);
+    }
+
+    /// Removes and returns the stored value.
+    pub fn take(&self) -> Option<T> {
+        lock(&self.0).take()
+    }
+}
+
+/// Creates `n` empty slots.
+pub fn slots<T>(n: usize) -> Vec<Slot<T>> {
+    (0..n).map(|_| Slot::new()).collect()
+}
+
+/// Splits `0..len` into ranges of `chunk_len` (last one possibly short).
+///
+/// Boundaries depend only on `len` and `chunk_len` — never on the thread
+/// count — which is what keeps chunked float reductions bit-identical
+/// across worker counts.
+pub fn chunk_ranges(len: usize, chunk_len: usize) -> Vec<Range<usize>> {
+    let chunk = chunk_len.max(1);
+    (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect()
+}
+
+/// Applies `f` to every item in parallel, returning outputs in input
+/// order. `f` receives the item's index alongside the item.
+pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let out = slots(items.len());
+    scope(|s| {
+        for (i, item) in items.into_iter().enumerate() {
+            let slot = &out[i];
+            let f = &f;
+            s.spawn(move || slot.set(f(i, item)));
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            // envlint: allow(no-panic) — an empty slot would mean a job
+            // never ran; scope() joins every job and re-raises job panics
+            // before control can reach this point.
+            slot.take().expect("par_map job completed")
+        })
+        .collect()
+}
+
+/// Mutates `data` in parallel through disjoint chunks of `chunk_len`
+/// items. `f` receives the chunk index and the chunk.
+pub fn par_for_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk_len.max(1);
+    scope(|s| {
+        for (i, block) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, block));
+        }
+    });
+}
+
+/// Maps fixed chunks of `0..len` in parallel, then folds the partial
+/// results **in ascending chunk order** on the calling thread.
+///
+/// Returns `None` when `len == 0`. Because both the chunk boundaries and
+/// the fold order are independent of the worker count, a non-associative
+/// `reduce` (float accumulation) still yields bit-identical results for
+/// 1 vs N threads.
+pub fn par_map_reduce<T, M, R>(len: usize, chunk_len: usize, map: M, reduce: R) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    par_map(chunk_ranges(len, chunk_len), |_, range| map(range))
+        .into_iter()
+        .reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_boundaries_ignore_thread_count() {
+        let expected = vec![0..4, 4..8, 8..10];
+        assert_eq!(chunk_ranges(10, 4), expected);
+        for threads in [1, 2, 8] {
+            with_thread_limit(threads, || {
+                assert_eq!(chunk_ranges(10, 4), expected);
+            });
+        }
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(chunk_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+        assert_eq!(chunk_ranges(4, 100), vec![0..4]);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 4] {
+            with_thread_limit(threads, || {
+                let out = par_map((0..64).collect(), |i, x: i64| {
+                    assert_eq!(i as i64, x);
+                    x * x
+                });
+                assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<i64>>());
+            });
+        }
+    }
+
+    #[test]
+    fn par_for_chunks_writes_disjoint_blocks() {
+        for threads in [1, 4] {
+            with_thread_limit(threads, || {
+                let mut data = vec![0usize; 37];
+                par_for_chunks(&mut data, 5, |chunk_idx, block| {
+                    for (j, v) in block.iter_mut().enumerate() {
+                        *v = chunk_idx * 5 + j;
+                    }
+                });
+                assert_eq!(data, (0..37).collect::<Vec<usize>>());
+            });
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_bit_identical_across_thread_counts() {
+        // Sum in an order where float addition's non-associativity shows:
+        // mixing magnitudes makes any reassociation change the bits.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761_usize % 1_000_003) as f64).exp2() * 1e-300)
+            .collect();
+        let run = |threads: usize| {
+            with_thread_limit(threads, || {
+                par_map_reduce(
+                    values.len(),
+                    128,
+                    |range| values[range].iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .expect("non-empty")
+            })
+        };
+        let one = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads).to_bits(), one.to_bits(), "{threads} threads");
+        }
+        assert_eq!(
+            par_map_reduce(0, 8, |_| 0.0f64, |a, b| a + b),
+            None,
+            "empty input"
+        );
+    }
+
+    #[test]
+    fn scope_joins_before_returning() {
+        let counter = AtomicU64::new(0);
+        with_thread_limit(4, || {
+            scope(|s| {
+                for _ in 0..100 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panic_propagates_to_scope_owner_after_all_jobs_finish() {
+        let finished = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_limit(4, || {
+                scope(|s| {
+                    s.spawn(|| panic!("job boom"));
+                    for _ in 0..20 {
+                        s.spawn(|| {
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }));
+        let payload = result.expect_err("job panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload is the original message");
+        assert_eq!(message, "job boom");
+        // The panic must not leak other jobs: every sibling still ran.
+        assert_eq!(finished.load(Ordering::Relaxed), 20);
+        // And the pool is not poisoned: the next scope works normally.
+        let after: Vec<i32> = with_thread_limit(4, || par_map(vec![1, 2, 3], |_, x| x * 10));
+        assert_eq!(after, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn nested_scopes_run_inline_without_deadlock() {
+        let total = AtomicU64::new(0);
+        with_thread_limit(4, || {
+            scope(|outer| {
+                for _ in 0..8 {
+                    outer.spawn(|| {
+                        // Nested scope on a pool worker (or inline on the
+                        // owner) must complete without waiting on the
+                        // finite pool.
+                        scope(|inner| {
+                            for _ in 0..8 {
+                                inner.spawn(|| {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn with_thread_limit_restores_on_panic() {
+        let before = max_threads();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_limit(3, || {
+                assert_eq!(max_threads(), 3);
+                panic!("inner");
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn spawn_named_records_worker_spans() {
+        let collector = env2vec_obs::collector();
+        let before = collector.len();
+        with_thread_limit(4, || {
+            scope(|s| {
+                for i in 0..4 {
+                    s.spawn_named(format!("par-test/job{i}"), move || {
+                        std::hint::black_box(i);
+                    });
+                }
+            });
+        });
+        let records = collector.records();
+        assert!(records.len() >= before + 4);
+        for i in 0..4 {
+            let name = format!("par-test/job{i}");
+            let record = records
+                .iter()
+                .find(|r| r.name == name)
+                .expect("worker span recorded");
+            // Worker jobs are roots on their executing thread; a sibling
+            // span open elsewhere must never become their parent.
+            assert_eq!(record.parent, 0, "{name}");
+        }
+        // Pool metrics are published once real workers exist.
+        if spawned_workers() > 0 {
+            let samples = env2vec_obs::metrics().snapshot();
+            assert!(samples.iter().any(|s| s.name == "par_pool_workers"));
+        }
+    }
+
+    #[test]
+    fn slot_set_take_round_trip() {
+        let slot = Slot::new();
+        assert_eq!(slot.take(), None);
+        slot.set(7);
+        slot.set(8);
+        assert_eq!(slot.take(), Some(8));
+        assert_eq!(slot.take(), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! The process-wide worker pool.
+//!
+//! Workers are lazily spawned daemons: the first parallel scope creates
+//! them, and they block on the shared job channel for the life of the
+//! process. There is no shutdown path — workers hold no resources beyond
+//! their stack, and tying their lifetime to the process keeps the scope
+//! fast path allocation-only.
+//!
+//! Every worker publishes utilisation metrics into the global
+//! [`env2vec_obs`] registry: `par_jobs_total{worker=i}` (jobs executed),
+//! `par_job_seconds` (per-job service time histogram) and
+//! `par_pool_workers` (gauge of spawned workers).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::chan::{channel, Receiver, Sender};
+
+/// A unit of work handed to the pool. Lifetimes are erased by
+/// [`crate::Scope::spawn`]; the completion latch guarantees the closure
+/// does not outlive its borrows.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of the pool's workers.
+///
+/// Scopes opened on a worker run their jobs inline: blocking a worker on
+/// a nested scope while the queue drains through the same finite pool
+/// can deadlock, and fan-out inside fan-out would oversubscribe the
+/// machine anyway.
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+struct Pool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    workers: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = channel();
+        Pool {
+            tx,
+            rx,
+            workers: AtomicUsize::new(0),
+        }
+    })
+}
+
+/// Enqueues a job for any worker (or a stealing scope owner) to run.
+pub(crate) fn submit(job: Job) {
+    pool().tx.send(job);
+}
+
+/// Pops one queued job, if any, so a blocked scope owner can help drain
+/// the queue instead of sleeping.
+pub(crate) fn try_steal() -> Option<Job> {
+    pool().rx.try_recv()
+}
+
+/// Number of workers spawned so far (for tests/diagnostics).
+pub fn spawned_workers() -> usize {
+    pool().workers.load(Ordering::Relaxed)
+}
+
+/// Grows the pool to at least `target` workers.
+///
+/// Workers are only ever added; a later scope with a smaller thread
+/// limit simply leaves the extras parked on the empty queue.
+pub(crate) fn ensure_workers(target: usize) {
+    let pool = pool();
+    loop {
+        let current = pool.workers.load(Ordering::Relaxed);
+        if current >= target {
+            return;
+        }
+        if pool
+            .workers
+            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        if spawn_worker(current, pool.rx.clone()) {
+            env2vec_obs::metrics()
+                .gauge("par_pool_workers")
+                .set((current + 1) as f64);
+        } else {
+            // OS refused the thread; undo the reservation. Scope owners
+            // steal queued jobs themselves, so progress is still
+            // guaranteed even with zero workers.
+            pool.workers.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+fn spawn_worker(index: usize, rx: Receiver<Job>) -> bool {
+    std::thread::Builder::new()
+        .name(format!("par-worker-{index}"))
+        .spawn(move || {
+            IS_WORKER.with(|w| w.set(true));
+            let labels = env2vec_obs::metrics::LabelSet::new().with("worker", index.to_string());
+            let jobs = env2vec_obs::metrics().counter_with("par_jobs_total", labels);
+            let seconds = env2vec_obs::metrics().histogram("par_job_seconds");
+            loop {
+                let job = rx.recv();
+                // envlint: allow(wall-clock) — pool-utilisation metric only;
+                // the measured duration never feeds back into computation.
+                let start = std::time::Instant::now();
+                // Backstop: the scope wrapper already catches panics and
+                // re-raises them at the scope exit; catching here keeps a
+                // worker alive even if a raw job slips through.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                seconds.observe(start.elapsed().as_secs_f64());
+                jobs.inc();
+            }
+        })
+        .is_ok()
+}

@@ -1,0 +1,90 @@
+//! Tier-1 determinism: the parallel execution layer must be
+//! numerically invisible.
+//!
+//! `env2vec-par`'s contract is that chunk boundaries and reduction order
+//! depend only on problem sizes, never on worker count. This test pins
+//! the end-to-end consequence: training one small Env2Vec model — whose
+//! hidden-layer matmuls are big enough to cross the `linalg` parallel
+//! thresholds — produces bit-identical weights and predictions with 1
+//! worker and with 4.
+
+use env2vec::config::Env2VecConfig;
+use env2vec::dataframe::Dataframe;
+use env2vec::train::train_env2vec;
+use env2vec::vocab::EmVocabulary;
+use env2vec_datagen::telecom::{TelecomConfig, TelecomDataset};
+
+fn small_dataset() -> TelecomDataset {
+    let mut cfg = TelecomConfig::small();
+    cfg.num_chains = 4;
+    TelecomDataset::generate(cfg)
+}
+
+/// Trains a model and returns its serialised weights plus validation
+/// predictions. Everything is seeded, so two calls differ only through
+/// the execution layer under test.
+fn train_and_predict(dataset: &TelecomDataset) -> (String, Vec<f64>) {
+    let window = 2;
+    let mut vocab = EmVocabulary::telecom();
+    let mut trains = Vec::new();
+    let mut vals = Vec::new();
+    for chain in &dataset.chains {
+        for ex in chain.history() {
+            let df =
+                Dataframe::from_series(&ex.cf, &ex.cpu, &ex.labels.values(), window, &mut vocab)
+                    .unwrap();
+            let (t, v) = df.split_validation(0.15).unwrap();
+            trains.push(t);
+            vals.push(v);
+        }
+    }
+    let train = Dataframe::concat(&trains).unwrap();
+    let val = Dataframe::concat(&vals).unwrap();
+    let mut cfg = Env2VecConfig::fast();
+    // Wide enough that the batch × features × hidden products cross
+    // MATMUL_PAR_FLOPS and actually take the row-block-parallel path.
+    cfg.fnn_hidden = 128;
+    cfg.max_epochs = 6;
+    let model = train_env2vec(cfg, vocab, &train, &val).unwrap().0;
+    let preds = model.predict(&val).unwrap();
+    (model.params().to_json(), preds)
+}
+
+#[test]
+fn env2vec_training_is_bit_identical_across_thread_counts() {
+    let dataset = small_dataset();
+    let (weights_1, preds_1) = env2vec_par::with_thread_limit(1, || train_and_predict(&dataset));
+    let (weights_4, preds_4) = env2vec_par::with_thread_limit(4, || train_and_predict(&dataset));
+    assert_eq!(
+        weights_1, weights_4,
+        "trained weights diverged between 1 and 4 threads"
+    );
+    assert!(!preds_1.is_empty(), "validation frame must not be empty");
+    assert_eq!(preds_1.len(), preds_4.len());
+    for (i, (a, b)) in preds_1.iter().zip(&preds_4).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "prediction {i} diverged: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn kernels_cross_parallel_thresholds_deterministically() {
+    use env2vec_linalg::Matrix;
+    // Direct guard on the linalg gates with awkward shapes (row count
+    // not divisible by the block size).
+    let a = Matrix::from_fn(100, 70, |i, j| ((i * 31 + j * 7) % 113) as f64 / 13.0 - 4.0);
+    let b = Matrix::from_fn(70, 90, |i, j| ((i * 3 + j * 41) % 127) as f64 / 11.0 - 5.0);
+    let seq = env2vec_par::with_thread_limit(1, || a.matmul(&b).unwrap());
+    let par = env2vec_par::with_thread_limit(4, || a.matmul(&b).unwrap());
+    assert_eq!(seq, par);
+
+    let tall = Matrix::from_fn(9000, 5, |i, j| ((i * 17 + j) % 1013) as f64 * 1e-4);
+    let means_1 = env2vec_par::with_thread_limit(1, || tall.col_means());
+    let means_4 = env2vec_par::with_thread_limit(4, || tall.col_means());
+    for (x, y) in means_1.iter().zip(&means_4) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

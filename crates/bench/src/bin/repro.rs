@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! repro [--fast|--full] [--seed N] [--runs N] [--threads N] [--verbose]
-//!       [--trace-out FILE] [--bench-json FILE] <experiment>...
+//!       [--trace-out FILE] [--bench-json FILE] [--metrics-out FILE]
+//!       [--profile-ops DIR] [--bench-history DIR] [--bench-gate]
+//!       <experiment>...
 //! repro all              # every experiment in paper order
+//! repro report           # introspection report (quantiles + alarms)
 //! ```
 //!
-//! Experiments: `fig1`, `table3`, `table4`, `fig3`, `fig4`, `table5`,
-//! `table6`, `table7`, `fig6`, `timing`, `ablation`, `finetune`.
+//! Experiments: `fig1`, `table3`, `table4` (alias `kdn`), `fig3`,
+//! `fig4`, `table5`, `table6`, `table7`, `fig6`, `timing`, `ablation`,
+//! `finetune`; plus the `report` pseudo-experiment.
 //!
 //! `--fast` shrinks datasets/grids for a smoke run (minutes); the default
 //! preset uses the paper's 125 build chains at reduced execution length;
@@ -23,8 +27,20 @@
 //! Observability: `--trace-out FILE` dumps the run's hierarchical spans
 //! as a Chrome trace (open in `chrome://tracing` or Perfetto);
 //! `--bench-json FILE` writes per-experiment wall time plus the study's
-//! accuracy summary as JSON; `--verbose` streams structured logfmt
-//! progress to stderr. Every run ends with a timing summary table.
+//! accuracy summary as JSON; `--metrics-out FILE` dumps the metrics
+//! registry in Prometheus text exposition format; `--verbose` streams
+//! structured logfmt progress to stderr. Every run ends with a timing
+//! summary table.
+//!
+//! Introspection: the registry is self-scraped into the telemetry TSDB
+//! under the reserved `__introspect` environment after every experiment,
+//! and the closed-loop self-monitor (threshold rules + the repo's own
+//! HTM detector) runs over those series at the end of the run.
+//! `--profile-ops DIR` enables the op-level tape profiler and writes a
+//! ranked hot-op table (`hot_ops.txt`) plus flamegraph-ready collapsed
+//! stacks (`tape.collapsed`). `--bench-history DIR` compares bench
+//! records (`BENCH*.json`) for wall-time and accuracy regressions;
+//! `--bench-gate` turns a flagged regression into a nonzero exit.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -47,8 +63,10 @@ const NEEDS_STUDY: [&str; 10] = [
 
 fn usage() -> &'static str {
     "usage: repro [--fast|--full] [--seed N] [--runs N] [--threads N] [--verbose]\n\
-     \x20            [--trace-out FILE] [--bench-json FILE] <experiment>...\n\
-     experiments: fig1 table3 table4 fig3 fig4 table5 table6 table7 fig6 timing ablation finetune | all"
+     \x20            [--trace-out FILE] [--bench-json FILE] [--metrics-out FILE]\n\
+     \x20            [--profile-ops DIR] [--bench-history DIR] [--bench-gate] <experiment>...\n\
+     experiments: fig1 table3 table4 (alias: kdn) fig3 fig4 table5 table6 table7 fig6 timing\n\
+     \x20            ablation finetune | all; plus `report` (introspection report)"
 }
 
 /// Per-experiment outcome for the timing table and `--bench-json`.
@@ -119,6 +137,11 @@ fn main() -> ExitCode {
     let mut chosen: Vec<String> = Vec::new();
     let mut trace_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut profile_ops: Option<String> = None;
+    let mut bench_history: Option<String> = None;
+    let mut bench_gate = false;
+    let mut want_report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -174,6 +197,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile-ops" => match args.next() {
+                Some(dir) => profile_ops = Some(dir),
+                None => {
+                    eprintln!("--profile-ops needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-history" => match args.next() {
+                Some(dir) => bench_history = Some(dir),
+                None => {
+                    eprintln!("--bench-history needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-gate" => bench_gate = true,
+            "kdn" => chosen.push("table4".to_string()),
+            "report" => want_report = true,
             "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
             "-h" | "--help" => {
                 println!("{}", usage());
@@ -186,9 +233,16 @@ fn main() -> ExitCode {
             }
         }
     }
-    if chosen.is_empty() {
+    if chosen.is_empty() && !want_report {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &profile_ops {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create --profile-ops dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        env2vec_nn::profile::enable();
     }
 
     println!(
@@ -238,6 +292,19 @@ fn main() -> ExitCode {
         None
     };
 
+    // Self-scrape: file the registry's state into the telemetry TSDB
+    // under the reserved `__introspect` environment at deterministic
+    // logical timestamps — once after setup, then after each experiment.
+    let self_scrape = || {
+        env2vec_obs::scrape_into_with(
+            env2vec_obs::metrics(),
+            env2vec_introspect::global_db(),
+            env2vec_introspect::next_tick(),
+            &env2vec_introspect::introspect_labels(),
+        );
+    };
+    self_scrape();
+
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     for name in &chosen {
         let t0 = Instant::now();
@@ -281,6 +348,7 @@ fn main() -> ExitCode {
                     name: name.clone(),
                     wall_seconds: wall,
                 });
+                self_scrape();
             }
             Err(e) => {
                 eprintln!("{name} failed: {e}");
@@ -302,6 +370,91 @@ fn main() -> ExitCode {
         timings.iter().map(|t| t.wall_seconds).sum::<f64>() + setup_seconds.unwrap_or(0.0);
     println!("  {:<12} {:>9.2} s", "total", total);
 
+    // Final scrape, then the closed-loop self-monitor over everything
+    // this run filed under `__introspect`.
+    self_scrape();
+    let alarms = env2vec_introspect::global_alarms();
+    let raised = env2vec_introspect::SelfMonitor::new(env2vec_introspect::global_db()).run(alarms);
+    if raised > 0 {
+        println!("\nself-monitor: {raised} alarm(s) raised");
+        for a in alarms.all() {
+            println!("  {}", a.message);
+        }
+    } else {
+        println!("\nself-monitor: no alarms — run health nominal");
+    }
+
+    // Bench-history comparison: oldest record in the directory is the
+    // baseline; the comparand is this run when it produced bench numbers
+    // (a study was built), else the newest record on disk.
+    let mut gate_tripped = false;
+    if let Some(dir) = &bench_history {
+        match env2vec_introspect::bench::load_dir(std::path::Path::new(dir)) {
+            Err(e) => {
+                eprintln!("failed to read --bench-history dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok((records, skipped)) => {
+                let current_run = study
+                    .as_ref()
+                    .map(|s| env2vec_introspect::bench::BenchRecord {
+                        name: "(this run)".to_string(),
+                        preset: if opts.fast { "fast" } else { "standard" }.to_string(),
+                        seed: opts.seed as i64,
+                        runs: opts.runs as i64,
+                        experiments: timings
+                            .iter()
+                            .map(|t| (t.name.clone(), t.wall_seconds))
+                            .collect(),
+                        clean_mae: accuracy_summary(s)
+                            .iter()
+                            .map(|&(n, m)| (n.to_string(), m))
+                            .collect(),
+                    });
+                let comparison = match (records.first(), current_run, records.last()) {
+                    (Some(base), Some(cur), _) => Some((base.clone(), cur)),
+                    (Some(base), None, Some(latest)) if records.len() >= 2 => {
+                        Some((base.clone(), latest.clone()))
+                    }
+                    _ => None,
+                };
+                println!();
+                match comparison {
+                    None => println!(
+                        "bench history: nothing to compare in {dir} ({} record(s), no current run)",
+                        records.len()
+                    ),
+                    Some((baseline, current)) => {
+                        let regressions = env2vec_introspect::bench::compare(
+                            &baseline,
+                            &current,
+                            &env2vec_introspect::bench::CompareConfig::default(),
+                        );
+                        print!(
+                            "{}",
+                            env2vec_introspect::bench::render_comparison(
+                                &baseline,
+                                &current,
+                                &regressions,
+                                &skipped,
+                            )
+                        );
+                        if !regressions.is_empty() && bench_gate {
+                            gate_tripped = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if want_report {
+        println!(
+            "\n{}",
+            env2vec_introspect::report::render(&env2vec_obs::metrics().snapshot(), alarms)
+        );
+    }
+
     if let Some(path) = trace_out {
         let trace = env2vec_obs::collector().to_chrome_trace();
         if let Err(e) = std::fs::write(&path, trace) {
@@ -321,6 +474,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote benchmark summary to {path}");
+    }
+    if let Some(path) = metrics_out {
+        let text = env2vec_obs::prometheus::render(env2vec_obs::metrics());
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Prometheus exposition snapshot to {path}");
+    }
+    if let Some(dir) = profile_ops {
+        env2vec_nn::profile::disable();
+        let stats = env2vec_nn::profile::snapshot();
+        let table = env2vec_nn::profile::hot_op_table(&stats, 30);
+        let stacks = env2vec_nn::profile::collapsed_stacks(&stats);
+        for (name, contents) in [("hot_ops.txt", table), ("tape.collapsed", stacks)] {
+            let path = format!("{dir}/{name}");
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "wrote op-level tape profile ({} sites) to {dir}/hot_ops.txt and {dir}/tape.collapsed",
+            stats.len()
+        );
+    }
+    if gate_tripped {
+        eprintln!("bench gate: regression flagged (--bench-gate)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -10,7 +10,8 @@ use env2vec_nn::graph::{Graph, NodeId};
 use env2vec_nn::optim::{Adam, Optimizer};
 use env2vec_nn::params::{Bound, ParamSet};
 use env2vec_nn::trainer::{
-    grad_norm, shuffled_batches, EarlyStopping, NullObserver, TrainObserver,
+    grad_norm, param_distance, param_distance_filtered, param_norm, shuffled_batches,
+    EarlyStopping, EpochStats, NullObserver, TrainObserver,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,6 +55,26 @@ impl ObsTrainObserver {
 }
 
 impl TrainObserver for ObsTrainObserver {
+    fn wants_epoch_stats(&self) -> bool {
+        true
+    }
+
+    fn on_epoch_stats(&mut self, stats: &EpochStats) {
+        let m = env2vec_obs::metrics();
+        m.gauge_with("train_param_norm", self.labels())
+            .set(stats.param_norm);
+        m.gauge_with("train_update_norm", self.labels())
+            .set(stats.update_norm);
+        m.gauge_with("train_update_ratio", self.labels())
+            .set(stats.update_ratio);
+        m.gauge_with("train_embedding_drift", self.labels())
+            .set(stats.embedding_drift);
+        m.gauge_with("train_val_loss_delta", self.labels())
+            .set(stats.val_loss_delta);
+        m.gauge_with("train_best_val_loss", self.labels())
+            .set(stats.best_val_loss);
+    }
+
     fn on_epoch(&mut self, epoch: usize, val_loss: f64, grad_norm: f64) {
         let m = env2vec_obs::metrics();
         m.counter_with("train_epochs_total", self.labels()).inc();
@@ -266,8 +287,15 @@ fn fit<M: Trainable>(
     let mut dropout_rng = StdRng::seed_from_u64(config.seed ^ 0xd20f);
     let mut val_losses = Vec::new();
     let mut stopped_early = false;
+    // Stats collection is read-only but clones the parameter set once
+    // per epoch, so only pay for it when the observer opted in.
+    let wants_stats = observer.wants_epoch_stats();
+    let initial_params = wants_stats.then(|| model.params().clone());
+    let mut prev_val_loss = f64::NAN;
+    let mut best_val_loss = f64::INFINITY;
 
     for epoch in 0..config.max_epochs {
+        let epoch_start_params = wants_stats.then(|| model.params().clone());
         let mut last_grad_norm = 0.0;
         for batch_idx in
             shuffled_batches(train.len(), config.batch_size, config.seed + epoch as u64)
@@ -291,6 +319,31 @@ fn fit<M: Trainable>(
         let loss = scaled_val_mse(model, val)?;
         val_losses.push(loss);
         observer.on_epoch(epoch, loss, last_grad_norm);
+        if let (Some(initial), Some(start)) = (&initial_params, &epoch_start_params) {
+            // f64::min ignores a NaN loss, so best_val_loss stays at the
+            // best real value even after a divergence.
+            best_val_loss = best_val_loss.min(loss);
+            let p_norm = param_norm(model.params());
+            let u_norm = param_distance(start, model.params());
+            observer.on_epoch_stats(&EpochStats {
+                epoch,
+                val_loss: loss,
+                grad_norm: last_grad_norm,
+                param_norm: p_norm,
+                update_norm: u_norm,
+                update_ratio: if p_norm > 0.0 { u_norm / p_norm } else { 0.0 },
+                embedding_drift: param_distance_filtered(initial, model.params(), |n| {
+                    n.starts_with("em.")
+                }),
+                val_loss_delta: if prev_val_loss.is_nan() {
+                    0.0
+                } else {
+                    loss - prev_val_loss
+                },
+                best_val_loss,
+            });
+            prev_val_loss = loss;
+        }
         if stopper.observe(loss, model.params()) {
             stopped_early = true;
             observer.on_early_stop(epoch);
@@ -498,12 +551,26 @@ mod tests {
         // models (here checked via exact prediction equality).
         struct Recorder {
             epochs: usize,
+            stats: usize,
             completed: bool,
         }
         impl env2vec_nn::trainer::TrainObserver for Recorder {
             fn on_epoch(&mut self, _epoch: usize, val_loss: f64, grad_norm: f64) {
                 assert!(val_loss.is_finite() && grad_norm.is_finite());
                 self.epochs += 1;
+            }
+            // Opting into stats exercises the per-epoch snapshot path, so
+            // this test also proves stats collection is numerics-inert.
+            fn wants_epoch_stats(&self) -> bool {
+                true
+            }
+            fn on_epoch_stats(&mut self, stats: &env2vec_nn::trainer::EpochStats) {
+                assert!(stats.param_norm.is_finite() && stats.param_norm > 0.0);
+                assert!(stats.update_norm.is_finite());
+                assert!(stats.update_ratio.is_finite());
+                assert!(stats.embedding_drift.is_finite());
+                assert!(stats.best_val_loss <= stats.val_loss + 1e-15);
+                self.stats += 1;
             }
             fn on_complete(&mut self, _best_epoch: usize, _stopped_early: bool) {
                 self.completed = true;
@@ -519,6 +586,7 @@ mod tests {
         let (plain, plain_report) = train_env2vec(cfg, vocab_a, &train, &val).unwrap();
         let mut rec = Recorder {
             epochs: 0,
+            stats: 0,
             completed: false,
         };
         let (observed, observed_report) =
@@ -528,6 +596,7 @@ mod tests {
         assert_eq!(plain_report.best_epoch, observed_report.best_epoch);
         assert_eq!(plain.predict(&a).unwrap(), observed.predict(&a).unwrap());
         assert_eq!(rec.epochs, observed_report.val_losses.len());
+        assert_eq!(rec.stats, rec.epochs);
         assert!(rec.completed);
     }
 
@@ -548,9 +617,27 @@ mod tests {
             .get();
         assert_eq!((after - before) as usize, report.val_losses.len());
         assert!(env2vec_obs::metrics()
-            .gauge_with("train_val_loss", labels)
+            .gauge_with("train_val_loss", labels.clone())
             .get()
             .is_finite());
+        // The introspection-stream gauges are published too.
+        for name in [
+            "train_param_norm",
+            "train_update_ratio",
+            "train_embedding_drift",
+            "train_best_val_loss",
+        ] {
+            let v = env2vec_obs::metrics()
+                .gauge_with(name, labels.clone())
+                .get();
+            assert!(v.is_finite(), "{name} should be finite, got {v}");
+        }
+        assert!(
+            env2vec_obs::metrics()
+                .gauge_with("train_param_norm", labels)
+                .get()
+                > 0.0
+        );
     }
 
     #[test]

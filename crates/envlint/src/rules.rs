@@ -107,9 +107,21 @@ impl RuleId {
             // `par` is in scope: its determinism contract forbids timing
             // from influencing results, so any clock use there must carry
             // a reasoned allow (pool-utilisation metrics only).
+            // `introspect` is in scope for the same reason: the
+            // self-monitor's alarms land in tier-1 test assertions, so
+            // its series must be indexed by logical ticks, never wall
+            // time.
             RuleId::WallClock => matches!(
                 crate_dir,
-                "core" | "nn" | "baselines" | "linalg" | "htm" | "datagen" | "eval" | "par"
+                "core"
+                    | "nn"
+                    | "baselines"
+                    | "linalg"
+                    | "htm"
+                    | "datagen"
+                    | "eval"
+                    | "par"
+                    | "introspect"
             ),
             RuleId::CastTruncation => crate_dir == "linalg",
         }
@@ -135,6 +147,7 @@ mod tests {
         assert!(RuleId::HashIter.applies_to("core"));
         assert!(RuleId::WallClock.applies_to("linalg"));
         assert!(RuleId::WallClock.applies_to("par"));
+        assert!(RuleId::WallClock.applies_to("introspect"));
         assert!(!RuleId::WallClock.applies_to("obs"));
         assert!(RuleId::CastTruncation.applies_to("linalg"));
         assert!(!RuleId::CastTruncation.applies_to("nn"));

@@ -21,11 +21,12 @@ use env2vec::anomaly::AnomalyDetector;
 use env2vec::config::Env2VecConfig;
 use env2vec::dataframe::Dataframe;
 use env2vec::model::{Env2VecModel, RfnnModel};
-use env2vec::train::{train_env2vec_observed, train_rfnn_observed, ObsTrainObserver};
+use env2vec::train::{train_env2vec_observed, train_rfnn_observed};
 use env2vec::vocab::EmVocabulary;
 use env2vec_baselines::ridge::{self, Ridge, ALPHA_GRID};
 use env2vec_datagen::telecom::{Execution, TelecomConfig, TelecomDataset};
 use env2vec_htm::{HtmAnomalyDetector, HtmConfig};
+use env2vec_introspect::IntrospectObserver;
 use env2vec_linalg::stats::Gaussian;
 use env2vec_linalg::{Error, Matrix, Result};
 
@@ -203,10 +204,14 @@ impl TelecomStudy {
                 vocab.clone(),
                 &train,
                 &val,
-                &mut ObsTrainObserver::new("env2vec_pooled"),
+                &mut IntrospectObserver::global("env2vec_pooled"),
             )?;
-            let (rfnn_all, _) =
-                train_rfnn_observed(nn_cfg, &train, &val, &mut ObsTrainObserver::new("rfnn_all"))?;
+            let (rfnn_all, _) = train_rfnn_observed(
+                nn_cfg,
+                &train,
+                &val,
+                &mut IntrospectObserver::global("rfnn_all"),
+            )?;
             (env2vec, rfnn_all)
         };
 
@@ -240,13 +245,13 @@ impl TelecomStudy {
                 blind_vocab.clone(),
                 &btrain,
                 &bval,
-                &mut ObsTrainObserver::new("env2vec_blind"),
+                &mut IntrospectObserver::global("env2vec_blind"),
             )?;
             let (blind_rfnn, _) = train_rfnn_observed(
                 nn_cfg,
                 &btrain,
                 &bval,
-                &mut ObsTrainObserver::new("rfnn_blind"),
+                &mut IntrospectObserver::global("rfnn_blind"),
             )?;
             (blind_env2vec, blind_rfnn)
         };

@@ -1,0 +1,335 @@
+//! Bench-history regression gating: load prior `BENCH_*.json` files
+//! (written by `repro --bench-json`), compare wall times and clean-MAE
+//! accuracy between runs, and render a verdict.
+//!
+//! `repro --bench-history DIR` compares the oldest record in the
+//! directory (the baseline) against the newest; `--bench-gate` turns a
+//! flagged regression into a nonzero exit, so CI can refuse a change
+//! that doubles an experiment's wall time or degrades accuracy.
+
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+/// One parsed `BENCH_*.json` record.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// File name the record was loaded from (sort key for history).
+    pub name: String,
+    /// Preset string (`fast` / `standard`).
+    pub preset: String,
+    /// RNG seed of the run.
+    pub seed: i64,
+    /// Neural-method run count.
+    pub runs: i64,
+    /// Per-experiment `(name, wall_seconds)` in file order.
+    pub experiments: Vec<(String, f64)>,
+    /// Per-method `(name, clean_mae)` in file order.
+    pub clean_mae: Vec<(String, f64)>,
+}
+
+fn number(v: &Value) -> Option<f64> {
+    match *v {
+        Value::Int(i) => Some(i as f64),
+        Value::UInt(u) => Some(u as f64),
+        Value::Float(f) => Some(f),
+        _ => None,
+    }
+}
+
+fn integer(v: &Value) -> Option<i64> {
+    match *v {
+        Value::Int(i) => Some(i),
+        Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+        _ => None,
+    }
+}
+
+impl BenchRecord {
+    /// Parses one bench JSON document. Returns `None` (rather than
+    /// erroring) on any missing field or wrong shape, so a foreign JSON
+    /// file in the history directory degrades to "skipped".
+    pub fn parse(name: &str, json: &str) -> Option<BenchRecord> {
+        let root = serde_json::parse_value(json).ok()?;
+        let preset = match root.field("preset").ok()? {
+            Value::Str(s) => s.clone(),
+            _ => return None,
+        };
+        let seed = integer(root.field("seed").ok()?)?;
+        let runs = integer(root.field("runs").ok()?)?;
+        let mut experiments = Vec::new();
+        if let Value::Array(items) = root.field("experiments").ok()? {
+            for item in items {
+                let exp_name = match item.field("name").ok()? {
+                    Value::Str(s) => s.clone(),
+                    _ => return None,
+                };
+                let wall = number(item.field("wall_seconds").ok()?)?;
+                experiments.push((exp_name, wall));
+            }
+        } else {
+            return None;
+        }
+        let mut clean_mae = Vec::new();
+        if let Value::Object(pairs) = root.field("clean_mae").ok()? {
+            for (method, mae) in pairs {
+                clean_mae.push((method.clone(), number(mae)?));
+            }
+        } else {
+            return None;
+        }
+        Some(BenchRecord {
+            name: name.to_string(),
+            preset,
+            seed,
+            runs,
+            experiments,
+            clean_mae,
+        })
+    }
+
+    fn wall_of(&self, experiment: &str) -> Option<f64> {
+        self.experiments
+            .iter()
+            .find(|(n, _)| n == experiment)
+            .map(|&(_, w)| w)
+    }
+
+    fn mae_of(&self, method: &str) -> Option<f64> {
+        self.clean_mae
+            .iter()
+            .find(|(n, _)| n == method)
+            .map(|&(_, m)| m)
+    }
+}
+
+/// Loads every `BENCH*.json` in `dir`, sorted by file name (the naming
+/// convention embeds the date, so name order is history order). Files
+/// that fail to parse are skipped with their names reported.
+pub fn load_dir(dir: &Path) -> std::io::Result<(Vec<BenchRecord>, Vec<String>)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("BENCH") && name.ends_with(".json")
+        })
+        .collect();
+    paths.sort();
+    let mut records = Vec::new();
+    let mut skipped = Vec::new();
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let text = std::fs::read_to_string(&path)?;
+        match BenchRecord::parse(&name, &text) {
+            Some(rec) => records.push(rec),
+            None => skipped.push(name),
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Comparison thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Wall-time ratio (current / baseline) at or above which an
+    /// experiment is flagged.
+    pub wall_ratio_max: f64,
+    /// Baseline wall times below this are ignored (sub-50 ms experiment
+    /// timings are scheduler noise).
+    pub wall_floor_seconds: f64,
+    /// Relative clean-MAE increase at or above which a method is
+    /// flagged.
+    pub mae_increase_max: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            wall_ratio_max: 1.8,
+            wall_floor_seconds: 0.05,
+            mae_increase_max: 0.10,
+        }
+    }
+}
+
+/// One flagged regression between two bench records.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// `"wall"` or `"clean_mae"`.
+    pub kind: &'static str,
+    /// Experiment or method name.
+    pub name: String,
+    /// Baseline reading.
+    pub baseline: f64,
+    /// Current reading.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+/// Flags regressions of `current` against `baseline`. Experiments and
+/// methods present in only one record are ignored (comparing different
+/// experiment sets is not a regression).
+pub fn compare(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    cfg: &CompareConfig,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (name, wall) in &current.experiments {
+        let Some(base) = baseline.wall_of(name) else {
+            continue;
+        };
+        if base < cfg.wall_floor_seconds {
+            continue;
+        }
+        let ratio = wall / base;
+        if ratio >= cfg.wall_ratio_max {
+            out.push(Regression {
+                kind: "wall",
+                name: name.clone(),
+                baseline: base,
+                current: *wall,
+                ratio,
+            });
+        }
+    }
+    for (method, mae) in &current.clean_mae {
+        let Some(base) = baseline.mae_of(method) else {
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let ratio = mae / base;
+        if ratio >= 1.0 + cfg.mae_increase_max {
+            out.push(Regression {
+                kind: "clean_mae",
+                name: method.clone(),
+                baseline: base,
+                current: *mae,
+                ratio,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the history comparison as a text section: baseline vs current
+/// identity, then one line per flagged regression (or an all-clear).
+pub fn render_comparison(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    regressions: &[Regression],
+    skipped: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench history: baseline {} (preset {}, seed {}) vs current {} (preset {}, seed {})\n",
+        baseline.name, baseline.preset, baseline.seed, current.name, current.preset, current.seed,
+    ));
+    if baseline.preset != current.preset || baseline.seed != current.seed {
+        out.push_str(
+            "  note: preset/seed differ — wall and accuracy deltas are not like-for-like\n",
+        );
+    }
+    for name in skipped {
+        out.push_str(&format!("  skipped unparseable record: {name}\n"));
+    }
+    if regressions.is_empty() {
+        out.push_str("  no regressions flagged\n");
+        return out;
+    }
+    for r in regressions {
+        match r.kind {
+            "wall" => out.push_str(&format!(
+                "  REGRESSION wall      {:<12} {:>8.3} s -> {:>8.3} s  ({:.2}x)\n",
+                r.name, r.baseline, r.current, r.ratio
+            )),
+            _ => out.push_str(&format!(
+                "  REGRESSION clean_mae {:<12} {:>8.4}   -> {:>8.4}    (+{:.1}%)\n",
+                r.name,
+                r.baseline,
+                r.current,
+                (r.ratio - 1.0) * 100.0
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, table4_wall: f64, env2vec_mae: f64) -> BenchRecord {
+        let json = format!(
+            r#"{{
+              "preset": "fast", "seed": 9, "runs": 2,
+              "experiments": [
+                {{"name": "table4", "wall_seconds": {table4_wall}}},
+                {{"name": "fig1", "wall_seconds": 0.001}}
+              ],
+              "clean_mae": {{"Ridge": 1.885193, "Env2Vec": {env2vec_mae}}}
+            }}"#
+        );
+        BenchRecord::parse(name, &json).expect("fixture parses")
+    }
+
+    #[test]
+    fn parse_reads_every_field() {
+        let rec = record("BENCH_a.json", 3.7, 1.82);
+        assert_eq!(rec.preset, "fast");
+        assert_eq!(rec.seed, 9);
+        assert_eq!(rec.runs, 2);
+        assert_eq!(rec.experiments.len(), 2);
+        assert_eq!(rec.clean_mae.len(), 2);
+        assert_eq!(rec.experiments[0], ("table4".to_string(), 3.7));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(BenchRecord::parse("x", "not json").is_none());
+        assert!(BenchRecord::parse("x", r#"{"preset": "fast"}"#).is_none());
+        assert!(BenchRecord::parse(
+            "x",
+            r#"{"preset": 3, "seed": 9, "runs": 2, "experiments": [], "clean_mae": {}}"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn doubled_wall_time_and_degraded_mae_are_flagged() {
+        let base = record("BENCH_a.json", 3.7, 1.82);
+        let bad = record("BENCH_b.json", 7.4, 2.10);
+        let regs = compare(&base, &bad, &CompareConfig::default());
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert_eq!(regs[0].kind, "wall");
+        assert_eq!(regs[0].name, "table4");
+        assert!((regs[0].ratio - 2.0).abs() < 1e-12);
+        assert_eq!(regs[1].kind, "clean_mae");
+        assert_eq!(regs[1].name, "Env2Vec");
+        let text = render_comparison(&base, &bad, &regs, &[]);
+        assert!(text.contains("REGRESSION wall"));
+        assert!(text.contains("REGRESSION clean_mae"));
+    }
+
+    #[test]
+    fn identical_runs_and_noise_floor_stay_quiet() {
+        let base = record("BENCH_a.json", 3.7, 1.82);
+        let same = record("BENCH_b.json", 3.7, 1.82);
+        assert!(compare(&base, &same, &CompareConfig::default()).is_empty());
+        // fig1's 1 ms baseline is under the floor: even a 100x blip is
+        // scheduler noise, not a regression.
+        let mut noisy = same.clone();
+        noisy.experiments[1].1 = 0.1;
+        assert!(compare(&base, &noisy, &CompareConfig::default()).is_empty());
+        let text = render_comparison(&base, &same, &[], &[]);
+        assert!(text.contains("no regressions flagged"));
+    }
+}

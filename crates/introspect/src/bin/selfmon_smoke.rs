@@ -1,0 +1,160 @@
+//! Closed-loop self-monitor smoke check (the CI `selfmon-smoke` job).
+//!
+//! ```text
+//! selfmon_smoke [ARTIFACT_DIR]
+//! ```
+//!
+//! Trains a tiny Env2Vec model with the op-level tape profiler enabled
+//! and the introspection observer streaming per-epoch statistics into a
+//! fresh TSDB, then:
+//!
+//! 1. asserts the self-monitor raises **zero** alarms on the healthy run;
+//! 2. injects a training pathology (NaN validation loss + gradient-norm
+//!    blow-up, the signature of an LR blow-up) and asserts the monitor
+//!    raises **at least one** alarm;
+//! 3. writes the observability artifacts — `trace.json` (Chrome trace),
+//!    `hot_ops.txt` (ranked hot-op table), `tape.collapsed`
+//!    (flamegraph-ready stacks), and `metrics.prom` (Prometheus text
+//!    exposition) — into `ARTIFACT_DIR` (default `selfmon-artifacts`).
+//!
+//! Exits nonzero when any step fails, so the job gates merges.
+
+use std::process::ExitCode;
+
+use env2vec::train::train_env2vec_observed;
+use env2vec::{Dataframe, EmVocabulary, Env2VecConfig};
+use env2vec_introspect::{IntrospectObserver, SelfMonitor};
+use env2vec_linalg::Matrix;
+use env2vec_telemetry::{AlarmStore, Sample, TimeSeriesDb};
+
+/// A tiny synthetic two-environment task (environment shifts the
+/// target), just big enough to exercise every op on the tape.
+fn tiny_dataset(vocab: &mut EmVocabulary) -> Result<Dataframe, String> {
+    let n = 80;
+    let mut frames = Vec::new();
+    for (offset, env) in [
+        (30.0, ["tb1", "sutA", "tc", "S01"]),
+        (60.0, ["tb2", "sutB", "tc", "S01"]),
+    ] {
+        let cf = Matrix::from_fn(n, 4, |i, j| {
+            (((i * 13 + j * 7) % 17) as f64 / 17.0) + 0.1 * (i as f64 * 0.4).sin()
+        });
+        let mut ru = vec![offset];
+        for t in 1..n {
+            let drive = 20.0 * cf.get(t, 0) + 8.0 * cf.get(t, 1) * cf.get(t, 1);
+            ru.push(0.3 * ru[t - 1] + 0.7 * (offset + drive));
+        }
+        frames.push(
+            Dataframe::from_series(&cf, &ru, &env, 2, vocab)
+                .map_err(|e| format!("dataset: {e}"))?,
+        );
+    }
+    Dataframe::concat(&frames).map_err(|e| format!("dataset: {e}"))
+}
+
+fn run(artifact_dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(artifact_dir).map_err(|e| format!("mkdir {artifact_dir}: {e}"))?;
+
+    // -- Healthy run: tiny model, profiler on, introspection streaming.
+    env2vec_nn::profile::enable();
+    let db = TimeSeriesDb::new();
+    let mut vocab = EmVocabulary::telecom();
+    let data = tiny_dataset(&mut vocab)?;
+    let (train, val) = data
+        .split_validation(0.2)
+        .map_err(|e| format!("split: {e}"))?;
+    {
+        let _span = env2vec_obs::span!("selfmon/train", model = "smoke");
+        let mut observer = IntrospectObserver::new("smoke", &db);
+        train_env2vec_observed(Env2VecConfig::fast(), vocab, &train, &val, &mut observer)
+            .map_err(|e| format!("train: {e}"))?;
+    }
+    env2vec_nn::profile::disable();
+
+    let healthy = AlarmStore::new();
+    let raised = SelfMonitor::new(&db).run(&healthy);
+    println!("[selfmon] healthy run: {raised} alarms");
+    if raised != 0 {
+        for a in healthy.all() {
+            eprintln!("  unexpected: {}", a.message);
+        }
+        return Err(format!("healthy run raised {raised} alarms, expected 0"));
+    }
+
+    // -- Pathological run: inject the signature of an LR blow-up into
+    // the same stream under a distinct model label.
+    let labels = env2vec_introspect::introspect_labels().with("model", "smoke_pathological");
+    for (epoch, (loss, grad)) in [(2.0, 8.0), (1.5, 9.0), (f64::NAN, 4e7), (f64::NAN, 9e7)]
+        .into_iter()
+        .enumerate()
+    {
+        db.upsert(
+            "train_val_loss",
+            &labels,
+            Sample {
+                timestamp: epoch as i64,
+                value: loss,
+            },
+        );
+        db.upsert(
+            "train_grad_norm",
+            &labels,
+            Sample {
+                timestamp: epoch as i64,
+                value: grad,
+            },
+        );
+    }
+    let pathological = AlarmStore::new();
+    let raised = SelfMonitor::new(&db).run(&pathological);
+    println!("[selfmon] with injected NaN/LR-blowup: {raised} alarms");
+    for a in pathological.by_env_label("model", "smoke_pathological") {
+        println!("  {}", a.message);
+    }
+    if pathological
+        .by_env_label("model", "smoke_pathological")
+        .is_empty()
+    {
+        return Err("injected pathology raised no alarms".to_string());
+    }
+    if !pathological.by_env_label("model", "smoke").is_empty() {
+        return Err("healthy series alarmed in pathological pass".to_string());
+    }
+
+    // -- Artifacts.
+    let stats = env2vec_nn::profile::snapshot();
+    if stats.is_empty() {
+        return Err("profiler recorded no ops during training".to_string());
+    }
+    let write = |name: &str, contents: String| -> Result<(), String> {
+        let path = format!("{artifact_dir}/{name}");
+        std::fs::write(&path, contents).map_err(|e| format!("write {path}: {e}"))?;
+        println!("[selfmon] wrote {path}");
+        Ok(())
+    };
+    write("hot_ops.txt", env2vec_nn::profile::hot_op_table(&stats, 30))?;
+    write(
+        "tape.collapsed",
+        env2vec_nn::profile::collapsed_stacks(&stats),
+    )?;
+    write(
+        "metrics.prom",
+        env2vec_obs::prometheus::render(env2vec_obs::metrics()),
+    )?;
+    write("trace.json", env2vec_obs::collector().to_chrome_trace())?;
+    println!("[selfmon] OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "selfmon-artifacts".to_string());
+    match run(&dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("selfmon smoke FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Training introspection stream: a [`TrainObserver`] filing per-epoch
+//! statistics into a [`TimeSeriesDb`] under the reserved
+//! [`crate::INTROSPECT_ENV`] environment.
+//!
+//! The observer wraps the core [`ObsTrainObserver`] (which publishes the
+//! same numbers as gauges into the global metrics registry and logs
+//! `--verbose` lines), so callers swap one observer type and get both
+//! sinks. Series are indexed by epoch number — a deterministic timestamp
+//! axis — and written with [`TimeSeriesDb::upsert`], so re-training a
+//! model with the same label replaces its curve instead of interleaving
+//! two runs.
+
+use env2vec::train::ObsTrainObserver;
+use env2vec_nn::trainer::{EpochStats, TrainObserver};
+use env2vec_telemetry::{LabelSet, Sample, TimeSeriesDb};
+
+use crate::introspect_labels;
+
+/// Names of the per-epoch series the observer writes, in write order.
+pub const EPOCH_SERIES: [&str; 8] = [
+    "train_val_loss",
+    "train_grad_norm",
+    "train_param_norm",
+    "train_update_norm",
+    "train_update_ratio",
+    "train_embedding_drift",
+    "train_val_loss_delta",
+    "train_best_val_loss",
+];
+
+/// A [`TrainObserver`] streaming per-epoch statistics into a TSDB under
+/// `{env="__introspect", model=<name>}`, on top of everything
+/// [`ObsTrainObserver`] already does.
+#[derive(Debug)]
+pub struct IntrospectObserver<'a> {
+    inner: ObsTrainObserver,
+    labels: LabelSet,
+    db: &'a TimeSeriesDb,
+}
+
+impl<'a> IntrospectObserver<'a> {
+    /// An observer for `model` writing into `db`.
+    pub fn new(model: &str, db: &'a TimeSeriesDb) -> Self {
+        IntrospectObserver {
+            inner: ObsTrainObserver::new(model),
+            labels: introspect_labels().with("model", model),
+            db,
+        }
+    }
+
+    /// An observer for `model` writing into the process-wide
+    /// [`crate::global_db`].
+    pub fn global(model: &str) -> IntrospectObserver<'static> {
+        IntrospectObserver::new(model, crate::global_db())
+    }
+
+    /// The full label set this observer writes under.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    fn write(&self, metric: &str, epoch: usize, value: f64) {
+        self.db.upsert(
+            metric,
+            &self.labels,
+            Sample {
+                timestamp: epoch as i64,
+                value,
+            },
+        );
+    }
+}
+
+impl TrainObserver for IntrospectObserver<'_> {
+    fn on_epoch(&mut self, epoch: usize, val_loss: f64, grad_norm: f64) {
+        self.write("train_val_loss", epoch, val_loss);
+        self.write("train_grad_norm", epoch, grad_norm);
+        self.inner.on_epoch(epoch, val_loss, grad_norm);
+    }
+
+    fn wants_epoch_stats(&self) -> bool {
+        true
+    }
+
+    fn on_epoch_stats(&mut self, stats: &EpochStats) {
+        self.write("train_param_norm", stats.epoch, stats.param_norm);
+        self.write("train_update_norm", stats.epoch, stats.update_norm);
+        self.write("train_update_ratio", stats.epoch, stats.update_ratio);
+        self.write("train_embedding_drift", stats.epoch, stats.embedding_drift);
+        self.write("train_val_loss_delta", stats.epoch, stats.val_loss_delta);
+        self.write("train_best_val_loss", stats.epoch, stats.best_val_loss);
+        self.inner.on_epoch_stats(stats);
+    }
+
+    fn on_early_stop(&mut self, epoch: usize) {
+        self.inner.on_early_stop(epoch);
+    }
+
+    fn on_complete(&mut self, best_epoch: usize, stopped_early: bool) {
+        self.inner.on_complete(best_epoch, stopped_early);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_telemetry::LabelMatcher;
+
+    #[test]
+    fn epochs_become_series_points_under_the_reserved_env() {
+        let db = TimeSeriesDb::new();
+        let mut obs = IntrospectObserver::new("unit", &db);
+        assert!(obs.wants_epoch_stats());
+        for epoch in 0..3 {
+            obs.on_epoch(epoch, 1.0 / (epoch + 1) as f64, 0.5);
+            obs.on_epoch_stats(&EpochStats {
+                epoch,
+                val_loss: 1.0 / (epoch + 1) as f64,
+                grad_norm: 0.5,
+                param_norm: 10.0,
+                update_norm: 0.1,
+                update_ratio: 0.01,
+                embedding_drift: 0.2 * epoch as f64,
+                val_loss_delta: -0.1,
+                best_val_loss: 1.0 / (epoch + 1) as f64,
+            });
+        }
+        let matchers = [
+            LabelMatcher::eq("env", crate::INTROSPECT_ENV),
+            LabelMatcher::eq("model", "unit"),
+        ];
+        for metric in EPOCH_SERIES {
+            let series = db.query_range(metric, &matchers, 0, 100);
+            assert_eq!(series.len(), 1, "{metric} missing");
+            assert_eq!(series[0].samples.len(), 3, "{metric} points");
+            // Epoch-indexed timestamps.
+            assert_eq!(series[0].samples[2].timestamp, 2);
+        }
+        let drift = db.query_range("train_embedding_drift", &matchers, 0, 100);
+        assert_eq!(drift[0].samples[2].value, 0.4);
+    }
+
+    #[test]
+    fn retraining_same_model_replaces_not_interleaves() {
+        let db = TimeSeriesDb::new();
+        for run in 0..2 {
+            let mut obs = IntrospectObserver::new("retrain", &db);
+            obs.on_epoch(0, 5.0 - run as f64, 0.5);
+        }
+        let series = db.query_range("train_val_loss", &[], 0, 100);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].samples.len(), 1, "upsert must replace");
+        assert_eq!(series[0].samples[0].value, 4.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The `repro report` text report: latency quantiles for every
+//! histogram metric, the training-health alarm summary, and (when a
+//! history directory is given) the bench comparison from
+//! [`crate::bench`].
+
+use env2vec_obs::{quantile_from_cumulative, MetricSample, MetricValue};
+use env2vec_telemetry::AlarmStore;
+
+/// Renders a `p50/p95/p99` table over every histogram in `samples`
+/// (labels shown inline), or a placeholder when there are none.
+pub fn quantile_table(samples: &[MetricSample]) -> String {
+    let mut rows = Vec::new();
+    for sample in samples {
+        if let MetricValue::Histogram {
+            bounds,
+            cumulative,
+            sum,
+            count,
+        } = &sample.value
+        {
+            if *count == 0 {
+                continue;
+            }
+            let labels: Vec<String> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let shown = if labels.is_empty() {
+                sample.name.clone()
+            } else {
+                format!("{}{{{}}}", sample.name, labels.join(","))
+            };
+            rows.push(format!(
+                "  {:<44} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.4}",
+                shown,
+                count,
+                quantile_from_cumulative(bounds, cumulative, 0.50),
+                quantile_from_cumulative(bounds, cumulative, 0.95),
+                quantile_from_cumulative(bounds, cumulative, 0.99),
+                sum,
+            ));
+        }
+    }
+    if rows.is_empty() {
+        return "  (no histogram metrics recorded)\n".to_string();
+    }
+    let mut out = format!(
+        "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        "histogram", "count", "p50", "p95", "p99", "sum"
+    );
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the alarm store contents: one line per alarm, or an
+/// all-clear.
+pub fn alarm_summary(alarms: &AlarmStore) -> String {
+    let all = alarms.all();
+    if all.is_empty() {
+        return "  no alarms — training health nominal\n".to_string();
+    }
+    let mut out = String::new();
+    for a in all {
+        let model = a.env.get("model").unwrap_or("-");
+        out.push_str(&format!(
+            "  ALARM #{:<3} model={:<16} {:<24} [{} .. {}]  {}\n",
+            a.id, model, a.metric, a.start, a.end, a.message
+        ));
+    }
+    out
+}
+
+/// The full introspection report: quantiles + alarms. The bench history
+/// section is appended by the caller when `--bench-history` was given
+/// (it needs filesystem context this module doesn't take).
+pub fn render(samples: &[MetricSample], alarms: &AlarmStore) -> String {
+    format!(
+        "=== introspection report ===\n\nlatency quantiles (seconds):\n{}\ntraining health:\n{}",
+        quantile_table(samples),
+        alarm_summary(alarms),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_obs::MetricsRegistry;
+    use env2vec_telemetry::alarms::NewAlarm;
+    use env2vec_telemetry::LabelSet;
+
+    #[test]
+    fn report_shows_quantiles_and_alarms() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("train_epoch_seconds");
+        for i in 1..=100 {
+            h.observe(i as f64 / 100.0);
+        }
+        let alarms = AlarmStore::new();
+        alarms.push(NewAlarm {
+            env: LabelSet::new()
+                .with("env", crate::INTROSPECT_ENV)
+                .with("model", "env2vec_pooled"),
+            metric: "train_grad_norm".to_string(),
+            start: 3,
+            end: 5,
+            gamma: 1e4,
+            predicted: 1e4,
+            observed: 5e6,
+            message: "self-monitor[grad-blowup]: test".to_string(),
+        });
+        let text = render(&reg.snapshot(), &alarms);
+        assert!(text.contains("train_epoch_seconds"));
+        assert!(text.contains("p95"));
+        assert!(text.contains("ALARM #0"));
+        assert!(text.contains("model=env2vec_pooled"));
+        // p50 of a uniform 0.01..=1.00 spread sits inside the data range.
+        assert!(text.contains("introspection report"));
+    }
+
+    #[test]
+    fn empty_inputs_render_placeholders() {
+        let reg = MetricsRegistry::new();
+        reg.counter("not_a_histogram").inc();
+        let text = render(&reg.snapshot(), &AlarmStore::new());
+        assert!(text.contains("no histogram metrics recorded"));
+        assert!(text.contains("no alarms"));
+    }
+}

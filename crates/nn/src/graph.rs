@@ -11,6 +11,8 @@
 
 use env2vec_linalg::{Error, Matrix, Result};
 
+use crate::profile::{OpCost, OpTimer, Phase};
+
 /// Identifier of a node within one [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
@@ -69,9 +71,8 @@ enum Op {
     },
 }
 
-#[cfg(feature = "numeric-sanitizer")]
 impl Op {
-    /// The op's name for sanitizer diagnostics.
+    /// The op's name for profiler attribution and sanitizer diagnostics.
     fn name(&self) -> &'static str {
         match self {
             Op::Leaf => "Leaf",
@@ -127,7 +128,7 @@ impl Graph {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+    fn push(&mut self, value: Matrix, op: Op, timer: OpTimer) -> NodeId {
         #[cfg(feature = "numeric-sanitizer")]
         assert!(
             value.is_finite(),
@@ -135,17 +136,99 @@ impl Graph {
             op.name(),
             self.nodes.len()
         );
-        self.nodes.push(Node {
-            value,
-            grad: None,
-            op,
-        });
-        NodeId(self.nodes.len() - 1)
+        let site = self.nodes.len();
+        if timer.armed() {
+            let name = op.name();
+            let cost = self.forward_cost(&op, &value);
+            self.nodes.push(Node {
+                value,
+                grad: None,
+                op,
+            });
+            timer.finish(Phase::Forward, name, site, cost);
+        } else {
+            self.nodes.push(Node {
+                value,
+                grad: None,
+                op,
+            });
+        }
+        NodeId(site)
+    }
+
+    /// Estimated flop/allocation cost of one forward op execution. These
+    /// are static estimates from the op's shapes (MatMul `2·m·k·n`,
+    /// transcendentals a small multiple of the element count, pure data
+    /// movement zero), not measurements.
+    fn forward_cost(&self, op: &Op, out: &Matrix) -> OpCost {
+        let n = out.len() as u64;
+        let (flops, allocs) = match op {
+            Op::Leaf => (0, 0),
+            Op::MatMul(a, b) => {
+                let av = &self.nodes[a.0].value;
+                let cols = self.nodes[b.0].value.cols();
+                ((2 * av.rows() * av.cols() * cols) as u64, 1)
+            }
+            Op::Add(..)
+            | Op::AddRowBroadcast(..)
+            | Op::Sub(..)
+            | Op::Mul(..)
+            | Op::Scale(..)
+            | Op::AddScalar(..)
+            | Op::Relu(..)
+            | Op::Square(..)
+            | Op::DropoutMask { .. } => (n, 1),
+            // exp-based activations: a few flops per element.
+            Op::Sigmoid(..) | Op::Tanh(..) => (4 * n, 1),
+            Op::RowSums(a) | Op::MeanAll(a) => (self.nodes[a.0].value.len() as u64, 1),
+            // max + exp + normalise per element.
+            Op::RowSoftmax(..) => (5 * n, 1),
+            // Pure data movement.
+            Op::ConcatCols(parts) => (0, parts.len() as u64),
+            Op::GatherRows { .. } | Op::SliceCols { .. } => (0, 1),
+        };
+        OpCost {
+            flops,
+            allocs,
+            out_elems: n,
+        }
+    }
+
+    /// Estimated cost of one backward step through `op`, given the
+    /// output gradient flowing into it.
+    fn backward_cost(&self, op: &Op, out_grad: &Matrix) -> OpCost {
+        let n = out_grad.len() as u64;
+        let (flops, allocs) = match op {
+            Op::Leaf => (0, 0),
+            // dA = dY·Bᵀ and dB = Aᵀ·dY plus the two transposes.
+            Op::MatMul(_, b) => {
+                let k = self.nodes[b.0].value.rows() as u64;
+                (4 * n * k, 4)
+            }
+            Op::Add(..) | Op::Sub(..) => (n, 2),
+            Op::AddRowBroadcast(..) | Op::Mul(..) => (2 * n, 2),
+            Op::Scale(..) | Op::AddScalar(..) => (n, 1),
+            Op::Sigmoid(..)
+            | Op::Tanh(..)
+            | Op::Relu(..)
+            | Op::Square(..)
+            | Op::DropoutMask { .. } => (2 * n, 2),
+            Op::ConcatCols(parts) => (0, parts.len() as u64),
+            Op::GatherRows { .. } | Op::SliceCols { .. } => (n, 1),
+            Op::RowSums(a) | Op::MeanAll(a) => (self.nodes[a.0].value.len() as u64, 1),
+            Op::RowSoftmax(..) => (4 * n, 1),
+        };
+        OpCost {
+            flops,
+            allocs,
+            out_elems: 0,
+        }
     }
 
     /// Adds a leaf node holding `value` (an input or a bound parameter).
     pub fn leaf(&mut self, value: Matrix) -> NodeId {
-        self.push(value, Op::Leaf)
+        let timer = OpTimer::start();
+        self.push(value, Op::Leaf, timer)
     }
 
     /// Forward value of a node.
@@ -171,22 +254,25 @@ impl Graph {
     ///
     /// Returns an error on inner-dimension mismatch.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value)?;
-        Ok(self.push(v, Op::MatMul(a, b)))
+        Ok(self.push(v, Op::MatMul(a, b), timer))
     }
 
     /// Element-wise sum node.
     ///
     /// Returns an error on shape mismatch.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.add(&self.nodes[b.0].value)?;
-        Ok(self.push(v, Op::Add(a, b)))
+        Ok(self.push(v, Op::Add(a, b), timer))
     }
 
     /// Adds the `1 x C` row `bias` to every row of `a`.
     ///
     /// Returns an error when `bias` is not a single row of matching width.
     pub fn add_row_broadcast(&mut self, a: NodeId, bias: NodeId) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[bias.0].value;
         if bv.rows() != 1 || bv.cols() != av.cols() {
@@ -202,35 +288,39 @@ impl Graph {
                 *x += b;
             }
         }
-        Ok(self.push(v, Op::AddRowBroadcast(a, bias)))
+        Ok(self.push(v, Op::AddRowBroadcast(a, bias), timer))
     }
 
     /// Element-wise difference node.
     ///
     /// Returns an error on shape mismatch.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value)?;
-        Ok(self.push(v, Op::Sub(a, b)))
+        Ok(self.push(v, Op::Sub(a, b), timer))
     }
 
     /// Element-wise product node.
     ///
     /// Returns an error on shape mismatch.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value)?;
-        Ok(self.push(v, Op::Mul(a, b)))
+        Ok(self.push(v, Op::Mul(a, b), timer))
     }
 
     /// Scalar multiple node.
     pub fn scale(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.scale(alpha);
-        self.push(v, Op::Scale(a, alpha))
+        self.push(v, Op::Scale(a, alpha), timer)
     }
 
     /// Element-wise `a + alpha` node.
     pub fn add_scalar(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.map(|x| x + alpha);
-        self.push(v, Op::AddScalar(a))
+        self.push(v, Op::AddScalar(a), timer)
     }
 
     /// `1 - a`, the complement used by the GRU interpolation gate.
@@ -241,32 +331,37 @@ impl Graph {
 
     /// Logistic-sigmoid node.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a))
+        self.push(v, Op::Sigmoid(a), timer)
     }
 
     /// Hyperbolic-tangent node.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.map(f64::tanh);
-        self.push(v, Op::Tanh(a))
+        self.push(v, Op::Tanh(a), timer)
     }
 
     /// ReLU node.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.push(v, Op::Relu(a), timer)
     }
 
     /// Element-wise square node.
     pub fn square(&mut self, a: NodeId) -> NodeId {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.map(|x| x * x);
-        self.push(v, Op::Square(a))
+        self.push(v, Op::Square(a), timer)
     }
 
     /// Column-wise concatenation of nodes with equal row counts.
     ///
     /// Returns an error for an empty list or mismatched row counts.
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> Result<NodeId> {
+        let timer = OpTimer::start();
         if parts.is_empty() {
             return Err(Error::Empty {
                 routine: "concat_cols",
@@ -276,13 +371,14 @@ impl Graph {
         for &p in &parts[1..] {
             v = v.hstack(&self.nodes[p.0].value)?;
         }
-        Ok(self.push(v, Op::ConcatCols(parts.to_vec())))
+        Ok(self.push(v, Op::ConcatCols(parts.to_vec()), timer))
     }
 
     /// Gathers `indices` rows of `table` (an embedding lookup).
     ///
     /// Returns an error when an index is out of range.
     pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let v = self.nodes[table.0].value.select_rows(indices)?;
         Ok(self.push(
             v,
@@ -290,21 +386,24 @@ impl Graph {
                 table,
                 indices: indices.to_vec(),
             },
+            timer,
         ))
     }
 
     /// Sums each row, producing an `R x 1` node — the `Σ v_d ⊙ C`
     /// reduction of the paper's Equation 2.
     pub fn row_sums(&mut self, a: NodeId) -> NodeId {
+        let timer = OpTimer::start();
         let av = &self.nodes[a.0].value;
         let v = Matrix::from_fn(av.rows(), 1, |i, _| av.row(i).iter().sum());
-        self.push(v, Op::RowSums(a))
+        self.push(v, Op::RowSums(a), timer)
     }
 
     /// Mean over all elements, producing a `1 x 1` scalar node.
     ///
     /// Returns an error for an empty input.
     pub fn mean_all(&mut self, a: NodeId) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let av = &self.nodes[a.0].value;
         if av.is_empty() {
             return Err(Error::Empty {
@@ -312,7 +411,7 @@ impl Graph {
             });
         }
         let v = Matrix::filled(1, 1, av.sum() / av.len() as f64);
-        Ok(self.push(v, Op::MeanAll(a)))
+        Ok(self.push(v, Op::MeanAll(a), timer))
     }
 
     /// Applies a precomputed inverted-dropout mask (entries `0` or
@@ -322,14 +421,16 @@ impl Graph {
     /// [`crate::layers::dropout_mask`]; at inference time no mask op is
     /// recorded at all.
     pub fn dropout(&mut self, a: NodeId, mask: Matrix) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let v = self.nodes[a.0].value.hadamard(&mask)?;
-        Ok(self.push(v, Op::DropoutMask { input: a, mask }))
+        Ok(self.push(v, Op::DropoutMask { input: a, mask }, timer))
     }
 
     /// Contiguous column slice `[start, start + len)` of a node.
     ///
     /// Returns an error when the slice exceeds the node's width.
     pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> Result<NodeId> {
+        let timer = OpTimer::start();
         let av = &self.nodes[a.0].value;
         if start + len > av.cols() || len == 0 {
             return Err(Error::InvalidArgument {
@@ -344,12 +445,14 @@ impl Graph {
                 start,
                 len,
             },
+            timer,
         ))
     }
 
     /// Row-wise softmax node: each row becomes a probability
     /// distribution. Numerically stabilised by subtracting the row max.
     pub fn row_softmax(&mut self, a: NodeId) -> NodeId {
+        let timer = OpTimer::start();
         let av = &self.nodes[a.0].value;
         let mut v = av.clone();
         for i in 0..v.rows() {
@@ -364,7 +467,7 @@ impl Graph {
                 *x /= sum;
             }
         }
-        self.push(v, Op::RowSoftmax(a))
+        self.push(v, Op::RowSoftmax(a), timer)
     }
 
     /// Convenience: mean-squared-error node between prediction and target.
@@ -397,6 +500,12 @@ impl Graph {
             };
             // Clone the op descriptor to release the borrow on self.nodes.
             let op = self.nodes[i].op.clone();
+            let timer = OpTimer::start();
+            let profiled = if timer.armed() {
+                Some((op.name(), self.backward_cost(&op, &out_grad)))
+            } else {
+                None
+            };
             match op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
@@ -523,6 +632,9 @@ impl Graph {
                     self.accumulate(a, da)?;
                 }
             }
+            if let Some((name, cost)) = profiled {
+                timer.finish(Phase::Backward, name, i, cost);
+            }
         }
         Ok(())
     }
@@ -548,6 +660,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile;
 
     /// Central finite-difference check of `d loss / d leaf`.
     ///
@@ -874,6 +987,77 @@ mod tests {
         let loss = g.mean_all(s).unwrap();
         g.backward(loss).unwrap();
         assert!(g.grad(x).is_some());
+    }
+
+    #[test]
+    fn profiler_attributes_forward_and_backward_ops() {
+        // The profiler table is process-global and other tests may run
+        // concurrently, so assert only on presence and lower bounds of
+        // the cells this graph creates — never on absence or totals.
+        profile::enable();
+        let mut g = Graph::new();
+        let x = g.leaf(leaf_2x3());
+        let w = g.leaf(Matrix::from_vec(3, 2, vec![0.2, -0.4, 1.0, 0.3, -0.7, 0.9]).unwrap());
+        let y = g.matmul(x, w).unwrap();
+        let s = g.sigmoid(y);
+        let loss = g.mean_all(s).unwrap();
+        let matmul_site = y.index();
+        g.backward(loss).unwrap();
+        profile::disable();
+
+        let stats = profile::snapshot();
+        let fwd = stats
+            .iter()
+            .find(|s| {
+                s.phase == profile::Phase::Forward && s.op == "MatMul" && s.site == matmul_site
+            })
+            .expect("forward MatMul cell recorded");
+        assert!(fwd.calls >= 1);
+        // 2 * 2 * 3 * 2 flops per call.
+        assert!(fwd.flops >= 24);
+        assert!(fwd.out_elems >= 4);
+        let bwd = stats
+            .iter()
+            .find(|s| {
+                s.phase == profile::Phase::Backward && s.op == "MatMul" && s.site == matmul_site
+            })
+            .expect("backward MatMul cell recorded");
+        assert!(bwd.calls >= 1);
+        assert!(bwd.flops >= 48);
+
+        // The renderers accept the live snapshot.
+        let table = profile::hot_op_table(&stats, 5);
+        assert!(table.contains("MatMul"));
+        let collapsed = profile::collapsed_stacks(&stats);
+        for line in collapsed.lines() {
+            assert!(line.starts_with("env2vec;"));
+        }
+    }
+
+    #[test]
+    fn profiler_disabled_records_nothing_and_is_numerics_inert() {
+        // Identical graphs with the profiler on and off must produce
+        // bit-identical values and gradients.
+        let build = |g: &mut Graph| {
+            let x = g.leaf(leaf_2x3());
+            let s = g.sigmoid(x);
+            let sq = g.square(s);
+            let loss = g.mean_all(sq).unwrap();
+            (x, loss)
+        };
+        profile::disable();
+        let mut g_off = Graph::new();
+        let (x_off, loss_off) = build(&mut g_off);
+        g_off.backward(loss_off).unwrap();
+
+        profile::enable();
+        let mut g_on = Graph::new();
+        let (x_on, loss_on) = build(&mut g_on);
+        g_on.backward(loss_on).unwrap();
+        profile::disable();
+
+        assert_eq!(g_off.value(loss_off), g_on.value(loss_on));
+        assert_eq!(g_off.grad(x_off), g_on.grad(x_on));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod params;
+pub mod profile;
 pub mod trainer;
 
 pub use graph::{Graph, NodeId};

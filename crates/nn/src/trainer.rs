@@ -14,6 +14,37 @@ use env2vec_linalg::Matrix;
 
 use crate::params::ParamSet;
 
+/// Per-epoch training-health statistics handed to
+/// [`TrainObserver::on_epoch_stats`].
+///
+/// Everything here is *derived* from values the loop computes anyway —
+/// collecting the struct reads parameters and gradients but never writes
+/// them, so stats collection cannot perturb training.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Validation loss after this epoch's updates.
+    pub val_loss: f64,
+    /// Global L2 norm of the last mini-batch's gradients.
+    pub grad_norm: f64,
+    /// Global L2 norm of all parameters after the epoch.
+    pub param_norm: f64,
+    /// Global L2 norm of `params_after − params_before` for the epoch.
+    pub update_norm: f64,
+    /// `update_norm / param_norm` — the classic "how fast are we moving
+    /// relative to where we are" learning-rate health signal (0 when the
+    /// parameter norm is 0).
+    pub update_ratio: f64,
+    /// L2 distance of embedding-table parameters from their values at the
+    /// start of training (0 when the model has no embedding tables).
+    pub embedding_drift: f64,
+    /// `val_loss − previous val_loss` (0 at the first epoch).
+    pub val_loss_delta: f64,
+    /// Best validation loss seen so far, including this epoch.
+    pub best_val_loss: f64,
+}
+
 /// Read-only hooks into a training loop.
 ///
 /// Implementations receive values the loop already computes — they must
@@ -25,6 +56,22 @@ pub trait TrainObserver {
     /// mini-batch's gradients (a cheap divergence/vanishing signal).
     fn on_epoch(&mut self, epoch: usize, val_loss: f64, grad_norm: f64) {
         let _ = (epoch, val_loss, grad_norm);
+    }
+
+    /// Whether this observer wants [`TrainObserver::on_epoch_stats`].
+    /// Collecting [`EpochStats`] clones the parameter set once per epoch,
+    /// so loops only pay that when an observer opts in (the default is
+    /// `false`).
+    fn wants_epoch_stats(&self) -> bool {
+        false
+    }
+
+    /// Richer per-epoch statistics (norms, update ratio, embedding
+    /// drift). Fires right after [`TrainObserver::on_epoch`] for the same
+    /// epoch when [`TrainObserver::wants_epoch_stats`] returns `true`;
+    /// the default does nothing so existing observers are unaffected.
+    fn on_epoch_stats(&mut self, stats: &EpochStats) {
+        let _ = stats;
     }
 
     /// Early stopping fired after `epoch`.
@@ -52,6 +99,48 @@ pub fn grad_norm(grads: &[Matrix]) -> f64 {
         .map(|&v| v * v)
         .sum::<f64>()
         .sqrt()
+}
+
+/// Global L2 norm over every weight in a parameter set.
+pub fn param_norm(params: &ParamSet) -> f64 {
+    params
+        .iter()
+        .flat_map(|(_, _, v)| v.as_slice())
+        .map(|&x| x * x)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Global L2 distance between two snapshots of the *same* parameter-set
+/// layout, restricted to parameters whose name satisfies `keep`.
+///
+/// Entries whose names or shapes disagree between the snapshots are
+/// skipped, so comparing unrelated sets degrades to 0 instead of
+/// panicking.
+pub fn param_distance_filtered(
+    before: &ParamSet,
+    after: &ParamSet,
+    keep: impl Fn(&str) -> bool,
+) -> f64 {
+    let mut sum = 0.0;
+    for ((_, name_b, vb), (_, name_a, va)) in before.iter().zip(after.iter()) {
+        if name_b != name_a || vb.shape() != va.shape() || !keep(name_b) {
+            continue;
+        }
+        sum += vb
+            .as_slice()
+            .iter()
+            .zip(va.as_slice())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f64>();
+    }
+    sum.sqrt()
+}
+
+/// Global L2 distance between two snapshots of the same parameter-set
+/// layout (see [`param_distance_filtered`]).
+pub fn param_distance(before: &ParamSet, after: &ParamSet) -> f64 {
+    param_distance_filtered(before, after, |_| true)
 }
 
 /// Splits `0..n` into shuffled mini-batches of at most `batch_size`.
@@ -194,8 +283,51 @@ mod tests {
     fn null_observer_accepts_all_hooks() {
         let mut obs = NullObserver;
         obs.on_epoch(0, 1.0, 0.5);
+        obs.on_epoch_stats(&EpochStats {
+            epoch: 0,
+            val_loss: 1.0,
+            grad_norm: 0.5,
+            param_norm: 2.0,
+            update_norm: 0.1,
+            update_ratio: 0.05,
+            embedding_drift: 0.0,
+            val_loss_delta: 0.0,
+            best_val_loss: 1.0,
+        });
         obs.on_early_stop(3);
         obs.on_complete(2, true);
+    }
+
+    #[test]
+    fn param_norm_and_distance_are_global_l2() {
+        let mut a = ParamSet::new();
+        a.add("em.vnf", Matrix::filled(1, 2, 3.0)).unwrap();
+        a.add("dense.w", Matrix::filled(1, 1, 4.0)).unwrap();
+        // sqrt(9 + 9 + 16) = sqrt(34)
+        assert!((param_norm(&a) - 34f64.sqrt()).abs() < 1e-12);
+
+        let mut b = ParamSet::new();
+        b.add("em.vnf", Matrix::filled(1, 2, 3.0)).unwrap();
+        b.add("dense.w", Matrix::filled(1, 1, 1.0)).unwrap();
+        // Only dense.w moved, by 3.
+        assert!((param_distance(&a, &b) - 3.0).abs() < 1e-12);
+        // Restricting to embedding tables sees no movement.
+        assert_eq!(
+            param_distance_filtered(&a, &b, |n| n.starts_with("em.")),
+            0.0
+        );
+    }
+
+    #[test]
+    fn param_distance_skips_mismatched_layouts() {
+        let mut a = ParamSet::new();
+        a.add("w", Matrix::filled(1, 1, 1.0)).unwrap();
+        let mut b = ParamSet::new();
+        b.add("other", Matrix::filled(1, 1, 9.0)).unwrap();
+        assert_eq!(param_distance(&a, &b), 0.0);
+        let mut c = ParamSet::new();
+        c.add("w", Matrix::filled(2, 2, 1.0)).unwrap();
+        assert_eq!(param_distance(&a, &c), 0.0);
     }
 
     #[test]

@@ -26,14 +26,16 @@
 
 pub mod logging;
 pub mod metrics;
+pub mod prometheus;
 pub mod scrape;
 pub mod span;
 
 pub use logging::{set_verbose, verbose};
 pub use metrics::{
-    Counter, Gauge, Histogram, LabelSet, MetricSample, MetricValue, MetricsRegistry,
+    quantile_from_cumulative, Counter, Gauge, Histogram, LabelSet, MetricSample, MetricValue,
+    MetricsRegistry,
 };
-pub use scrape::scrape_into;
+pub use scrape::{scrape_into, scrape_into_with};
 pub use span::{SpanCollector, SpanGuard, SpanRecord};
 
 /// The process-wide metrics registry.

@@ -175,6 +175,50 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the observed
+    /// distribution by linear interpolation within the bucket containing
+    /// the target rank (see [`quantile_from_cumulative`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_cumulative(&self.bounds, &self.cumulative_counts(), q)
+    }
+}
+
+/// Quantile estimate over Prometheus-style cumulative bucket counts —
+/// the same `histogram_quantile` rule Prometheus applies server-side.
+///
+/// `cumulative` must have `bounds.len() + 1` entries (the last is the
+/// `+Inf` bucket). The target rank `q·total` is located in its bucket and
+/// linearly interpolated between the bucket's bounds (the first bucket's
+/// lower bound is 0). Ranks landing in the `+Inf` bucket return the last
+/// finite bound — the estimator cannot see past it. Returns NaN when the
+/// histogram is empty.
+pub fn quantile_from_cumulative(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
+    let total = match cumulative.last() {
+        Some(&t) if t > 0 => t as f64,
+        _ => return f64::NAN,
+    };
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * total;
+    for (i, &cum) in cumulative.iter().enumerate() {
+        if (cum as f64) >= rank {
+            if i >= bounds.len() {
+                return bounds.last().copied().unwrap_or(f64::NAN);
+            }
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let prev = if i == 0 {
+                0.0
+            } else {
+                cumulative[i - 1] as f64
+            };
+            let in_bucket = cum as f64 - prev;
+            if in_bucket <= 0.0 {
+                return bounds[i];
+            }
+            return lower + (bounds[i] - lower) * (rank - prev) / in_bucket;
+        }
+    }
+    bounds.last().copied().unwrap_or(f64::NAN)
 }
 
 /// A metric handle of any kind.
@@ -436,6 +480,61 @@ mod tests {
         assert!((b[3] - 1.0).abs() < 1e-12);
         let b2 = Histogram::log_bounds(0, 1, 2);
         assert!((b2[1] - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // Hand-built histogram: bounds [1, 2, 4], fills
+        //   (0, 1]: 2   (1, 2]: 2   (2, 4]: 4   (4, +Inf): 2
+        // cumulative [2, 4, 8, 10], total 10.
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0] {
+            h.observe(v);
+        }
+        for v in [1.5, 2.0] {
+            h.observe(v);
+        }
+        for v in [2.5, 3.0, 3.5, 4.0] {
+            h.observe(v);
+        }
+        for v in [10.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative_counts(), vec![2, 4, 8, 10]);
+        // rank 5 lands in (2, 4] holding cumulative 4..8:
+        // 2 + (4-2)·(5-4)/4 = 2.5
+        assert!((h.quantile(0.5) - 2.5).abs() < 1e-12);
+        // rank 2 lands in (0, 1] holding cumulative 0..2: 0 + 1·(2/2) = 1
+        assert!((h.quantile(0.2) - 1.0).abs() < 1e-12);
+        // rank 3 lands in (1, 2]: 1 + 1·(3-2)/2 = 1.5
+        assert!((h.quantile(0.3) - 1.5).abs() < 1e-12);
+        // Overflow bucket: the estimator saturates at the last finite
+        // bound.
+        assert_eq!(h.quantile(0.95), 4.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        // q = 0 interpolates to the bottom of the first bucket.
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_nan() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        assert!(h.quantile(0.5).is_nan());
+        assert!(quantile_from_cumulative(&[1.0, 2.0], &[0, 0, 0], 0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_from_cumulative_matches_hand_computation() {
+        // All mass in the overflow bucket → last finite bound.
+        assert_eq!(quantile_from_cumulative(&[1.0], &[0, 5], 0.5), 1.0);
+        // Single bucket, uniform interpolation: rank 1.5 of 3 in (0, 2].
+        let v = quantile_from_cumulative(&[2.0], &[3, 3], 0.5);
+        assert!((v - 1.0).abs() < 1e-12);
+        // Out-of-range q is clamped.
+        assert_eq!(
+            quantile_from_cumulative(&[2.0], &[3, 3], 7.0),
+            quantile_from_cumulative(&[2.0], &[3, 3], 1.0)
+        );
     }
 
     #[test]

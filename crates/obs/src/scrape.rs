@@ -20,7 +20,7 @@ use crate::metrics::{MetricValue, MetricsRegistry};
 
 /// Formats a bucket bound the way Prometheus does: shortest exact-ish
 /// decimal (`0.001`, not `1e-3`), so `le` labels are stable strings.
-fn format_bound(b: f64) -> String {
+pub(crate) fn format_bound(b: f64) -> String {
     let s = format!("{b}");
     if s.contains('e') || s.contains('E') {
         // Fall back to a plain decimal rendering for tiny bounds.
@@ -31,16 +31,40 @@ fn format_bound(b: f64) -> String {
     }
 }
 
-/// Appends one sample per registered series at `timestamp`, returning
+/// Writes one sample per registered series at `timestamp`, returning
 /// the number of samples written.
+///
+/// Scrapes are **idempotent per timestamp**: samples are upserted, so
+/// scraping the same registry twice at the same timestamp overwrites the
+/// first scrape's points (with the newer readings) instead of
+/// duplicating them.
 pub fn scrape_into(registry: &MetricsRegistry, db: &TimeSeriesDb, timestamp: i64) -> usize {
+    scrape_into_with(registry, db, timestamp, &env2vec_telemetry::LabelSet::new())
+}
+
+/// [`scrape_into`] with extra `base` labels merged into every written
+/// series — e.g. `env="__introspect"` to file self-telemetry under the
+/// reserved introspection environment.
+pub fn scrape_into_with(
+    registry: &MetricsRegistry,
+    db: &TimeSeriesDb,
+    timestamp: i64,
+    base: &env2vec_telemetry::LabelSet,
+) -> usize {
+    let merge = |labels: &env2vec_telemetry::LabelSet| {
+        let mut merged = base.clone();
+        for (k, v) in labels.iter() {
+            merged = merged.with(k, v);
+        }
+        merged
+    };
     let mut written = 0;
     for metric in registry.snapshot() {
         match metric.value {
             MetricValue::Counter(v) => {
-                db.append(
+                db.upsert(
                     &metric.name,
-                    &metric.labels,
+                    &merge(&metric.labels),
                     Sample {
                         timestamp,
                         value: v as f64,
@@ -49,9 +73,9 @@ pub fn scrape_into(registry: &MetricsRegistry, db: &TimeSeriesDb, timestamp: i64
                 written += 1;
             }
             MetricValue::Gauge(v) => {
-                db.append(
+                db.upsert(
                     &metric.name,
-                    &metric.labels,
+                    &merge(&metric.labels),
                     Sample {
                         timestamp,
                         value: v,
@@ -72,8 +96,8 @@ pub fn scrape_into(registry: &MetricsRegistry, db: &TimeSeriesDb, timestamp: i64
                     } else {
                         "+Inf".to_string()
                     };
-                    let labels = metric.labels.clone().with("le", le);
-                    db.append(
+                    let labels = merge(&metric.labels).with("le", le);
+                    db.upsert(
                         &bucket_name,
                         &labels,
                         Sample {
@@ -83,17 +107,17 @@ pub fn scrape_into(registry: &MetricsRegistry, db: &TimeSeriesDb, timestamp: i64
                     );
                     written += 1;
                 }
-                db.append(
+                db.upsert(
                     &format!("{}_sum", metric.name),
-                    &metric.labels,
+                    &merge(&metric.labels),
                     Sample {
                         timestamp,
                         value: sum,
                     },
                 );
-                db.append(
+                db.upsert(
                     &format!("{}_count", metric.name),
-                    &metric.labels,
+                    &merge(&metric.labels),
                     Sample {
                         timestamp,
                         value: count as f64,
@@ -174,6 +198,82 @@ mod tests {
         assert_eq!(format_bound(1.0), "1");
         assert_eq!(format_bound(0.000001), "0.000001");
         assert_eq!(format_bound(316.2), "316.2");
+    }
+
+    #[test]
+    fn double_scrape_at_same_timestamp_does_not_duplicate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ticks").inc();
+        reg.gauge("depth").set(1.0);
+        let h = reg.histogram("lat_seconds");
+        h.observe(0.01);
+        let db = TimeSeriesDb::new();
+        let first = scrape_into(&reg, &db, 500);
+        let samples_after_first = db.num_samples();
+        // Metrics move between scrapes, but the timestamp is the same.
+        reg.counter("ticks").inc();
+        reg.gauge("depth").set(2.0);
+        let second = scrape_into(&reg, &db, 500);
+        assert_eq!(first, second);
+        assert_eq!(
+            db.num_samples(),
+            samples_after_first,
+            "same-timestamp scrape must replace, not append"
+        );
+        // The second scrape's readings won.
+        assert_eq!(db.query_instant("ticks", &[], 500)[0].1.value, 2.0);
+        assert_eq!(db.query_instant("depth", &[], 500)[0].1.value, 2.0);
+    }
+
+    #[test]
+    fn labels_round_trip_scrape_to_query() {
+        let reg = MetricsRegistry::new();
+        let labels = LabelSet::new()
+            .with("model", "env2vec")
+            .with("phase", "train");
+        reg.gauge_with("loss", labels.clone()).set(0.25);
+        let db = TimeSeriesDb::new();
+        scrape_into(&reg, &db, 7);
+        let hits = db.query_instant(
+            "loss",
+            &[
+                LabelMatcher::eq("model", "env2vec"),
+                LabelMatcher::eq("phase", "train"),
+            ],
+            7,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, labels, "full LabelSet survives the round trip");
+        assert_eq!(hits[0].1.value, 0.25);
+        // A mismatched matcher finds nothing.
+        assert!(db
+            .query_instant("loss", &[LabelMatcher::eq("model", "rfnn")], 7)
+            .is_empty());
+    }
+
+    #[test]
+    fn base_labels_merge_into_every_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("epochs", LabelSet::new().with("model", "env2vec"))
+            .inc();
+        reg.histogram("step_seconds").observe(0.5);
+        let db = TimeSeriesDb::new();
+        let base = LabelSet::new().with("env", "__introspect");
+        scrape_into_with(&reg, &db, 9, &base);
+        let hits = db.query_instant("epochs", &[LabelMatcher::eq("env", "__introspect")], 9);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.get("model"), Some("env2vec"));
+        // Histogram expansion carries the base label too (alongside le).
+        let buckets = db.query_instant(
+            "step_seconds_bucket",
+            &[
+                LabelMatcher::eq("env", "__introspect"),
+                LabelMatcher::eq("le", "+Inf"),
+            ],
+            9,
+        );
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].1.value, 1.0);
     }
 
     #[test]

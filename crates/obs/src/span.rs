@@ -371,6 +371,57 @@ mod tests {
     }
 
     #[test]
+    fn exporters_json_escape_span_names_and_arg_values() {
+        // Regression: a span named `he said "hi"\n` (embedded quotes and
+        // newline) must not corrupt either export format.
+        let hostile_name = "he said \"hi\"\n";
+        let c = SpanCollector::new();
+        {
+            let mut g = c.start(hostile_name, vec![("path\\key".into(), "tab\there".into())]);
+            g.arg("ctrl", "\u{1}bell");
+        }
+
+        let trace = c.to_chrome_trace();
+        let parsed = serde_json::parse_value(&trace).expect("chrome trace is valid JSON");
+        let events = match parsed.field("traceEvents").expect("traceEvents") {
+            serde::Value::Array(evs) => evs,
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        assert_eq!(events.len(), 1);
+        match events[0].field("name").expect("name") {
+            serde::Value::Str(n) => {
+                assert_eq!(n, hostile_name, "name round-trips through escaping")
+            }
+            other => panic!("name not a string: {other:?}"),
+        }
+        // The raw newline never appears inside the JSON text.
+        assert!(trace.contains("\\n"));
+        assert!(!trace.contains("hi\"\n"), "unescaped newline leaked");
+        assert!(trace.contains("\\u0001"), "control char escaped");
+
+        let jsonl = c.to_jsonl();
+        assert_eq!(
+            jsonl.lines().count(),
+            1,
+            "one line per span, newline escaped"
+        );
+        let line = jsonl.lines().next().unwrap();
+        let parsed = serde_json::parse_value(line).expect("JSONL line is valid JSON");
+        match parsed.field("name").expect("name") {
+            serde::Value::Str(n) => assert_eq!(n, hostile_name),
+            other => panic!("name not a string: {other:?}"),
+        }
+        match parsed
+            .field("args")
+            .and_then(|a| a.field("path\\key"))
+            .expect("arg")
+        {
+            serde::Value::Str(v) => assert_eq!(v, "tab\there"),
+            other => panic!("arg not a string: {other:?}"),
+        }
+    }
+
+    #[test]
     fn concurrent_threads_nest_independently() {
         let c = std::sync::Arc::new(SpanCollector::new());
         let mut handles = Vec::new();

@@ -97,6 +97,29 @@ impl TimeSeriesDb {
         }
     }
 
+    /// Like [`TimeSeriesDb::append`], but if the series already holds a
+    /// sample at exactly `sample.timestamp`, that sample's value is
+    /// replaced instead of a duplicate point being inserted. This is the
+    /// write primitive for idempotent scrapes: re-scraping the same
+    /// registry at the same timestamp converges instead of growing.
+    pub fn upsert(&self, metric: &str, labels: &LabelSet, sample: Sample) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write();
+        let series = inner
+            .entry(SeriesKey {
+                metric: metric.to_string(),
+                labels: labels.clone(),
+            })
+            .or_default();
+        let pos = series.partition_point(|s| s.timestamp < sample.timestamp);
+        match series.get_mut(pos) {
+            Some(existing) if existing.timestamp == sample.timestamp => {
+                existing.value = sample.value;
+            }
+            _ => series.insert(pos, sample),
+        }
+    }
+
     /// Appends a whole vector of samples (already time-ordered) at once.
     pub fn append_series(&self, metric: &str, labels: &LabelSet, samples: &[Sample]) {
         for &s in samples {
@@ -308,6 +331,30 @@ mod tests {
         assert_eq!(db.num_samples(), 21);
         assert_eq!(db.metric_names(), vec!["cpu_usage", "mem_usage"]);
         assert_eq!(db.series_for("cpu_usage").len(), 2);
+    }
+
+    #[test]
+    fn upsert_replaces_at_equal_timestamp_and_inserts_otherwise() {
+        let db = TimeSeriesDb::new();
+        let s = |t: i64, v: f64| Sample {
+            timestamp: t,
+            value: v,
+        };
+        db.upsert("cpu_usage", &env("EM_1"), s(5, 1.0));
+        db.upsert("cpu_usage", &env("EM_1"), s(5, 2.0));
+        assert_eq!(db.num_samples(), 1, "same timestamp must not duplicate");
+        assert_eq!(
+            db.query_instant("cpu_usage", &[], 5)[0].1.value,
+            2.0,
+            "latest upsert wins"
+        );
+        // Different timestamps insert in sorted position.
+        db.upsert("cpu_usage", &env("EM_1"), s(3, 0.5));
+        db.upsert("cpu_usage", &env("EM_1"), s(7, 3.0));
+        assert_eq!(db.num_samples(), 3);
+        let range = db.query_range("cpu_usage", &[], 0, 10);
+        let ts: Vec<i64> = range[0].samples.iter().map(|x| x.timestamp).collect();
+        assert_eq!(ts, vec![3, 5, 7]);
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! TSDB benchmarks: ingest and query rates for the Prometheus stand-in.
+//! TSDB benchmarks: ingest and query rates for the Prometheus stand-in,
+//! across the engine's configurations (sharded/compressed vs the flat
+//! single-shard baseline) and the pooled batch-ingest path.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use env2vec_par::BatchSample;
 use env2vec_telemetry::labels::{LabelMatcher, LabelSet};
-use env2vec_telemetry::tsdb::{Sample, TimeSeriesDb};
+use env2vec_telemetry::tsdb::{Sample, TimeSeriesDb, TsdbConfig};
 
-fn filled(series: usize, points: usize) -> TimeSeriesDb {
-    let db = TimeSeriesDb::new();
+fn filled_with(config: TsdbConfig, series: usize, points: usize) -> TimeSeriesDb {
+    let db = TimeSeriesDb::with_config(config);
     for s in 0..series {
         let labels = LabelSet::new().with("env", format!("EM_{s:04}"));
         let samples: Vec<Sample> = (0..points)
@@ -17,6 +20,10 @@ fn filled(series: usize, points: usize) -> TimeSeriesDb {
         db.append_series("cpu_usage", &labels, &samples);
     }
     db
+}
+
+fn filled(series: usize, points: usize) -> TimeSeriesDb {
+    filled_with(TsdbConfig::default(), series, points)
 }
 
 fn bench_tsdb(c: &mut Criterion) {
@@ -46,6 +53,42 @@ fn bench_tsdb(c: &mut Criterion) {
 
     c.bench_function("tsdb_instant_query_all_125_series", |bench| {
         bench.iter(|| black_box(db.query_instant("cpu_usage", &[], 639)))
+    });
+
+    // The same range query against the flat pre-shard configuration —
+    // the sealed-chunk decode cost shows up as the delta to the default.
+    let flat = filled_with(
+        TsdbConfig {
+            num_shards: 1,
+            compress: false,
+            ..TsdbConfig::default()
+        },
+        125,
+        640,
+    );
+    c.bench_function("tsdb_range_query_flat_baseline", |bench| {
+        let m = [LabelMatcher::eq("env", "EM_0042")];
+        bench.iter(|| black_box(flat.query_range("cpu_usage", &m, 100, 500)))
+    });
+
+    // Pooled batch ingest: one scrape tick across a 500-series fleet.
+    let labels: Vec<LabelSet> = (0..500)
+        .map(|s| LabelSet::new().with("env", format!("EM_{s:04}")))
+        .collect();
+    c.bench_function("tsdb_append_batch_500_series_tick", |bench| {
+        bench.iter(|| {
+            let db = TimeSeriesDb::new();
+            let mut total = 0;
+            for t in 0..4i64 {
+                let batch: Vec<BatchSample> = labels
+                    .iter()
+                    .enumerate()
+                    .map(|(s, ls)| BatchSample::new("cpu_usage", ls, t, (s % 100) as f64))
+                    .collect();
+                total += env2vec_par::append_batch(&db, &batch);
+            }
+            black_box(total)
+        })
     });
 }
 

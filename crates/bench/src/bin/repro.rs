@@ -13,7 +13,8 @@
 //!
 //! Experiments: `fig1`, `table3`, `table4` (alias `kdn`), `fig3`,
 //! `fig4`, `table5`, `table6`, `table7`, `fig6`, `timing`, `ablation`,
-//! `finetune`; plus the `report` pseudo-experiment.
+//! `finetune`; plus `tsdb` (the storage-engine workload — not part of
+//! `all`) and the `report` pseudo-experiment.
 //!
 //! `--fast` shrinks datasets/grids for a smoke run (minutes); the default
 //! preset uses the paper's 125 build chains at reduced execution length;
@@ -66,7 +67,8 @@ fn usage() -> &'static str {
      \x20            [--trace-out FILE] [--bench-json FILE] [--metrics-out FILE]\n\
      \x20            [--profile-ops DIR] [--bench-history DIR] [--bench-gate] <experiment>...\n\
      experiments: fig1 table3 table4 (alias: kdn) fig3 fig4 table5 table6 table7 fig6 timing\n\
-     \x20            ablation finetune | all; plus `report` (introspection report)"
+     \x20            ablation finetune | all; plus `tsdb` (storage-engine workload) and\n\
+     \x20            `report` (introspection report)"
 }
 
 /// Per-experiment outcome for the timing table and `--bench-json`.
@@ -94,6 +96,7 @@ fn bench_json(
     setup_seconds: Option<f64>,
     timings: &[ExperimentTiming],
     accuracy: &[(&'static str, f64)],
+    tsdb: Option<&env2vec_bench::tsdb_ops::TsdbOpsSummary>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -121,7 +124,11 @@ fn bench_json(
             if i + 1 < timings.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ],\n  \"clean_mae\": {\n");
+    out.push_str("  ],\n");
+    if let Some(summary) = tsdb {
+        out.push_str(&format!("  \"tsdb\": {},\n", summary.json_object()));
+    }
+    out.push_str("  \"clean_mae\": {\n");
     for (i, (name, mae)) in accuracy.iter().enumerate() {
         out.push_str(&format!(
             "    \"{name}\": {mae:.6}{}\n",
@@ -220,6 +227,7 @@ fn main() -> ExitCode {
             },
             "--bench-gate" => bench_gate = true,
             "kdn" => chosen.push("table4".to_string()),
+            "tsdb" => chosen.push("tsdb".to_string()),
             "report" => want_report = true,
             "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
             "-h" | "--help" => {
@@ -295,7 +303,13 @@ fn main() -> ExitCode {
     // Self-scrape: file the registry's state into the telemetry TSDB
     // under the reserved `__introspect` environment at deterministic
     // logical timestamps — once after setup, then after each experiment.
+    // The TSDB's own stats are published as gauges first, so the engine's
+    // health rides its own storage.
     let self_scrape = || {
+        env2vec_obs::tsdb::publish_stats(
+            env2vec_obs::metrics(),
+            &env2vec_introspect::global_db().stats(),
+        );
         env2vec_obs::scrape_into_with(
             env2vec_obs::metrics(),
             env2vec_introspect::global_db(),
@@ -306,6 +320,7 @@ fn main() -> ExitCode {
     self_scrape();
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
+    let mut tsdb_summary: Option<env2vec_bench::tsdb_ops::TsdbOpsSummary> = None;
     for name in &chosen {
         let t0 = Instant::now();
         let result = {
@@ -324,6 +339,12 @@ fn main() -> ExitCode {
             match name.as_str() {
                 "table3" => table3::run(&opts),
                 "table4" => table4::run(&opts),
+                "tsdb" => {
+                    env2vec_bench::tsdb_ops::run_with_summary(&opts).map(|(text, summary)| {
+                        tsdb_summary = Some(summary);
+                        text
+                    })
+                }
                 "fig1" => need_study().and_then(fig1::run),
                 "fig3" => need_study().and_then(fig3::run),
                 "fig4" => need_study().and_then(fig4::run),
@@ -395,9 +416,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             Ok((records, skipped)) => {
-                let current_run = study
-                    .as_ref()
-                    .map(|s| env2vec_introspect::bench::BenchRecord {
+                // Any timed experiment makes this run comparable — the
+                // accuracy map is simply empty when no study was built
+                // (e.g. a tsdb-only run), and compare() skips metrics
+                // absent from either side.
+                let current_run = if timings.is_empty() {
+                    None
+                } else {
+                    Some(env2vec_introspect::bench::BenchRecord {
                         name: "(this run)".to_string(),
                         preset: if opts.fast { "fast" } else { "standard" }.to_string(),
                         seed: opts.seed as i64,
@@ -406,11 +432,17 @@ fn main() -> ExitCode {
                             .iter()
                             .map(|t| (t.name.clone(), t.wall_seconds))
                             .collect(),
-                        clean_mae: accuracy_summary(s)
-                            .iter()
-                            .map(|&(n, m)| (n.to_string(), m))
-                            .collect(),
-                    });
+                        clean_mae: study
+                            .as_ref()
+                            .map(|s| {
+                                accuracy_summary(s)
+                                    .iter()
+                                    .map(|&(n, m)| (n.to_string(), m))
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    })
+                };
                 let comparison = match (records.first(), current_run, records.last()) {
                     (Some(base), Some(cur), _) => Some((base.clone(), cur)),
                     (Some(base), None, Some(latest)) if records.len() >= 2 => {
@@ -449,9 +481,14 @@ fn main() -> ExitCode {
     }
 
     if want_report {
+        let tsdb_stats = env2vec_introspect::global_db().stats();
         println!(
             "\n{}",
-            env2vec_introspect::report::render(&env2vec_obs::metrics().snapshot(), alarms)
+            env2vec_introspect::report::render(
+                &env2vec_obs::metrics().snapshot(),
+                alarms,
+                Some(&tsdb_stats),
+            )
         );
     }
 
@@ -468,7 +505,13 @@ fn main() -> ExitCode {
     }
     if let Some(path) = bench_out {
         let accuracy = study.as_ref().map(accuracy_summary).unwrap_or_default();
-        let json = bench_json(&opts, setup_seconds, &timings, &accuracy);
+        let json = bench_json(
+            &opts,
+            setup_seconds,
+            &timings,
+            &accuracy,
+            tsdb_summary.as_ref(),
+        );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write bench json to {path}: {e}");
             return ExitCode::FAILURE;
@@ -476,7 +519,12 @@ fn main() -> ExitCode {
         println!("wrote benchmark summary to {path}");
     }
     if let Some(path) = metrics_out {
-        let text = env2vec_obs::prometheus::render(env2vec_obs::metrics());
+        let mut text = env2vec_obs::prometheus::render(env2vec_obs::metrics());
+        // The TSDB's own latency histograms live outside the registry;
+        // append them so the exposition file is the complete picture.
+        text.push_str(&env2vec_obs::prometheus::render_snapshot(
+            &env2vec_obs::tsdb::latency_samples(&env2vec_introspect::global_db().stats()),
+        ));
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("failed to write metrics to {path}: {e}");
             return ExitCode::FAILURE;

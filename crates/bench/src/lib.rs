@@ -1,7 +1,10 @@
 //! Benchmark harness crate.
 //!
-//! Holds the Criterion benchmarks (`benches/`) and the `repro` binary
-//! that regenerates every table and figure of the paper. See the
+//! Holds the Criterion benchmarks (`benches/`), the `repro` binary
+//! that regenerates every table and figure of the paper, and the
+//! [`tsdb_ops`] storage-engine workload behind `repro tsdb`. See the
 //! workspace `DESIGN.md` for the experiment index.
 
 #![warn(missing_docs)]
+
+pub mod tsdb_ops;

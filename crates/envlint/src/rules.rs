@@ -111,6 +111,10 @@ impl RuleId {
             // self-monitor's alarms land in tier-1 test assertions, so
             // its series must be indexed by logical ticks, never wall
             // time.
+            // `telemetry` is in scope since the TSDB became
+            // self-instrumenting: stored samples and query results must
+            // stay a pure function of the writes, so the engine's one
+            // latency-timer call site carries a reasoned allow.
             RuleId::WallClock => matches!(
                 crate_dir,
                 "core"
@@ -122,6 +126,7 @@ impl RuleId {
                     | "eval"
                     | "par"
                     | "introspect"
+                    | "telemetry"
             ),
             RuleId::CastTruncation => crate_dir == "linalg",
         }
@@ -148,6 +153,7 @@ mod tests {
         assert!(RuleId::WallClock.applies_to("linalg"));
         assert!(RuleId::WallClock.applies_to("par"));
         assert!(RuleId::WallClock.applies_to("introspect"));
+        assert!(RuleId::WallClock.applies_to("telemetry"));
         assert!(!RuleId::WallClock.applies_to("obs"));
         assert!(RuleId::CastTruncation.applies_to("linalg"));
         assert!(!RuleId::CastTruncation.applies_to("nn"));

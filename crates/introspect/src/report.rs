@@ -4,7 +4,7 @@
 //! [`crate::bench`].
 
 use env2vec_obs::{quantile_from_cumulative, MetricSample, MetricValue};
-use env2vec_telemetry::AlarmStore;
+use env2vec_telemetry::{AlarmStore, TsdbStats};
 
 /// Renders a `p50/p95/p99` table over every histogram in `samples`
 /// (labels shown inline), or a placeholder when there are none.
@@ -74,15 +74,56 @@ pub fn alarm_summary(alarms: &AlarmStore) -> String {
     out
 }
 
-/// The full introspection report: quantiles + alarms. The bench history
+/// Renders the TSDB storage-engine section: totals, compression
+/// accounting, per-shard occupancy, and the engine's own
+/// append/instant/range latency quantiles.
+pub fn tsdb_section(stats: &TsdbStats) -> String {
+    let mut out = String::from("tsdb storage engine:\n");
+    out.push_str(&format!(
+        "  series={} samples={} inserts={} queries={} out_of_order_inserts={}\n",
+        stats.num_series,
+        stats.num_samples,
+        stats.inserts,
+        stats.queries,
+        stats.out_of_order_inserts,
+    ));
+    out.push_str(&format!(
+        "  sealed_chunks={} compressed_bytes={} uncompressed_bytes={} ratio={:.2}x\n",
+        stats.sealed_chunks,
+        stats.sealed_bytes,
+        stats.sealed_uncompressed_bytes,
+        stats.compression_ratio(),
+    ));
+    out.push_str(&format!(
+        "  {:>5} {:>8} {:>10}\n",
+        "shard", "series", "samples"
+    ));
+    for (i, shard) in stats.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "  {i:>5} {:>8} {:>10}\n",
+            shard.series, shard.samples
+        ));
+    }
+    out.push_str("\n  tsdb op latency quantiles (seconds):\n");
+    out.push_str(&quantile_table(&env2vec_obs::tsdb::latency_samples(stats)));
+    out
+}
+
+/// The full introspection report: quantiles + alarms + (when a TSDB
+/// snapshot is supplied) the storage-engine section. The bench history
 /// section is appended by the caller when `--bench-history` was given
 /// (it needs filesystem context this module doesn't take).
-pub fn render(samples: &[MetricSample], alarms: &AlarmStore) -> String {
-    format!(
+pub fn render(samples: &[MetricSample], alarms: &AlarmStore, tsdb: Option<&TsdbStats>) -> String {
+    let mut out = format!(
         "=== introspection report ===\n\nlatency quantiles (seconds):\n{}\ntraining health:\n{}",
         quantile_table(samples),
         alarm_summary(alarms),
-    )
+    );
+    if let Some(stats) = tsdb {
+        out.push('\n');
+        out.push_str(&tsdb_section(stats));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -112,7 +153,7 @@ mod tests {
             observed: 5e6,
             message: "self-monitor[grad-blowup]: test".to_string(),
         });
-        let text = render(&reg.snapshot(), &alarms);
+        let text = render(&reg.snapshot(), &alarms, None);
         assert!(text.contains("train_epoch_seconds"));
         assert!(text.contains("p95"));
         assert!(text.contains("ALARM #0"));
@@ -125,8 +166,45 @@ mod tests {
     fn empty_inputs_render_placeholders() {
         let reg = MetricsRegistry::new();
         reg.counter("not_a_histogram").inc();
-        let text = render(&reg.snapshot(), &AlarmStore::new());
+        let text = render(&reg.snapshot(), &AlarmStore::new(), None);
         assert!(text.contains("no histogram metrics recorded"));
         assert!(text.contains("no alarms"));
+        assert!(!text.contains("tsdb storage engine"));
+    }
+
+    #[test]
+    fn tsdb_section_reports_shards_compression_and_latency() {
+        use env2vec_telemetry::{Sample, TimeSeriesDb};
+        let db = TimeSeriesDb::new();
+        for t in 0..400i64 {
+            db.append(
+                "cpu_usage",
+                &LabelSet::new().with("env", "EM_1"),
+                Sample {
+                    timestamp: t,
+                    value: (t % 8) as f64,
+                },
+            );
+        }
+        db.query_range("cpu_usage", &[], 0, 400);
+        let stats = db.stats();
+        let text = render(&[], &AlarmStore::new(), Some(&stats));
+        assert!(text.contains("tsdb storage engine:"));
+        assert!(text.contains("series=1 samples=400"));
+        assert!(text.contains("sealed_chunks=1"));
+        assert!(text.contains("ratio="));
+        assert!(text.contains("tsdb_append_seconds"));
+        assert!(text.contains("tsdb_query_range_seconds"));
+        // One row per shard.
+        let shard_rows = text
+            .lines()
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
+            .count();
+        assert!(shard_rows >= stats.num_shards);
     }
 }

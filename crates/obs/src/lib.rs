@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod prometheus;
 pub mod scrape;
 pub mod span;
+pub mod tsdb;
 
 pub use logging::{set_verbose, verbose};
 pub use metrics::{

@@ -1,0 +1,146 @@
+//! Re-publishing the TSDB's self-instrumentation as regular metrics.
+//!
+//! The TSDB cannot depend on this crate (obs depends on telemetry), so
+//! it keeps its own internal counters and latency histograms and exports
+//! them as [`env2vec_telemetry::TsdbStats`] snapshots. This module is
+//! the other half of that loop: it turns a snapshot into ordinary
+//! gauges in a [`MetricsRegistry`] — which the self-scraper then writes
+//! *back into the same TSDB* — and into [`MetricSample`] histograms for
+//! Prometheus exposition and the report's quantile tables.
+
+use env2vec_telemetry::tsdb::{LatencySnapshot, TsdbStats, LATENCY_BUCKETS};
+
+use crate::metrics::{LabelSet, MetricSample, MetricValue, MetricsRegistry};
+
+/// Publishes the snapshot's counters, sizes, compression accounting, and
+/// per-shard occupancy as gauges in `registry` (names prefixed
+/// `tsdb_`). Call before each scrape so the TSDB's own health rides the
+/// same pipeline as every other metric.
+pub fn publish_stats(registry: &MetricsRegistry, stats: &TsdbStats) {
+    registry.gauge("tsdb_inserts").set(stats.inserts as f64);
+    registry.gauge("tsdb_queries").set(stats.queries as f64);
+    registry
+        .gauge("tsdb_out_of_order_inserts")
+        .set(stats.out_of_order_inserts as f64);
+    registry.gauge("tsdb_series").set(stats.num_series as f64);
+    registry.gauge("tsdb_samples").set(stats.num_samples as f64);
+    registry
+        .gauge("tsdb_sealed_chunks")
+        .set(stats.sealed_chunks as f64);
+    registry
+        .gauge("tsdb_sealed_bytes")
+        .set(stats.sealed_bytes as f64);
+    registry
+        .gauge("tsdb_sealed_uncompressed_bytes")
+        .set(stats.sealed_uncompressed_bytes as f64);
+    registry
+        .gauge("tsdb_compression_ratio")
+        .set(stats.compression_ratio());
+    for (i, shard) in stats.shards.iter().enumerate() {
+        // Zero-padded so label-sorted output follows shard order.
+        let labels = LabelSet::new().with("shard", format!("{i:02}"));
+        registry
+            .gauge_with("tsdb_shard_series", labels.clone())
+            .set(shard.series as f64);
+        registry
+            .gauge_with("tsdb_shard_samples", labels)
+            .set(shard.samples as f64);
+    }
+}
+
+fn histogram_sample(name: &str, snap: &LatencySnapshot) -> MetricSample {
+    MetricSample {
+        name: name.to_string(),
+        labels: LabelSet::new(),
+        value: MetricValue::Histogram {
+            bounds: LATENCY_BUCKETS.to_vec(),
+            cumulative: snap.cumulative.clone(),
+            sum: snap.sum_seconds,
+            count: snap.count,
+        },
+    }
+}
+
+/// The TSDB's append/instant/range latency distributions as histogram
+/// samples (name-sorted), ready for `prometheus::render_snapshot` or the
+/// report's quantile table.
+pub fn latency_samples(stats: &TsdbStats) -> Vec<MetricSample> {
+    vec![
+        histogram_sample("tsdb_append_seconds", &stats.append_latency),
+        histogram_sample("tsdb_query_instant_seconds", &stats.instant_latency),
+        histogram_sample("tsdb_query_range_seconds", &stats.range_latency),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use env2vec_telemetry::{Sample, TimeSeriesDb};
+
+    fn exercised_db() -> TimeSeriesDb {
+        let db = TimeSeriesDb::new();
+        for t in 0..300 {
+            db.append(
+                "cpu_usage",
+                &LabelSet::new().with("env", "EM_1"),
+                Sample {
+                    timestamp: t,
+                    value: (t % 10) as f64,
+                },
+            );
+        }
+        db.query_instant("cpu_usage", &[], 150);
+        db.query_range("cpu_usage", &[], 0, 299);
+        db
+    }
+
+    #[test]
+    fn gauges_mirror_the_snapshot() {
+        let db = exercised_db();
+        let reg = MetricsRegistry::new();
+        publish_stats(&reg, &db.stats());
+        assert_eq!(reg.gauge("tsdb_inserts").get(), 300.0);
+        assert_eq!(reg.gauge("tsdb_series").get(), 1.0);
+        assert_eq!(reg.gauge("tsdb_samples").get(), 300.0);
+        assert!(reg.gauge("tsdb_sealed_chunks").get() >= 1.0);
+        assert!(reg.gauge("tsdb_compression_ratio").get() > 1.0);
+        // 16 default shards → 32 occupancy gauges + the 9 scalars.
+        assert_eq!(reg.len(), 9 + 2 * 16);
+        let occupied: f64 = (0..16)
+            .map(|i| {
+                reg.gauge_with(
+                    "tsdb_shard_samples",
+                    LabelSet::new().with("shard", format!("{i:02}")),
+                )
+                .get()
+            })
+            .sum();
+        assert_eq!(occupied, 300.0);
+    }
+
+    #[test]
+    fn latency_samples_are_report_ready_histograms() {
+        let db = exercised_db();
+        let samples = latency_samples(&db.stats());
+        assert_eq!(samples.len(), 3);
+        let names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "render_snapshot needs name order");
+        for s in &samples {
+            match &s.value {
+                MetricValue::Histogram {
+                    bounds, cumulative, ..
+                } => {
+                    assert_eq!(bounds.len(), LATENCY_BUCKETS.len());
+                    assert_eq!(cumulative.len(), bounds.len() + 1);
+                }
+                other => panic!("expected histogram, got {other:?}"),
+            }
+        }
+        let append = &samples[0];
+        if let MetricValue::Histogram { count, .. } = append.value {
+            assert_eq!(count, 300, "every append observed");
+        }
+    }
+}

@@ -49,8 +49,10 @@
 //! [`scope`] on the spawning thread.
 
 mod chan;
+pub mod ingest;
 mod pool;
 
+pub use ingest::{append_batch, BatchSample};
 pub use pool::spawned_workers;
 
 use std::cell::Cell;

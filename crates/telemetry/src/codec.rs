@@ -1,0 +1,459 @@
+//! Gorilla-style sample compression: delta-of-delta varint timestamps
+//! plus XOR-encoded IEEE-754 values, bit-for-bit exact.
+//!
+//! Sealed chunks of the TSDB ([`crate::chunk`]) store their samples in
+//! this form. The format follows Facebook's Gorilla paper (VLDB 2015)
+//! with two simplifications that suit the workload here:
+//!
+//! - **Timestamps** are a byte-aligned stream of zigzag varints: the
+//!   first raw timestamp, then the first delta, then delta-of-deltas.
+//!   Scrape cadences are regular, so almost every delta-of-delta is zero
+//!   and costs a single `0x00` byte. All arithmetic is wrapping, so the
+//!   full `i64` range (including `i64::MIN`/`i64::MAX`) round-trips.
+//! - **Values** are the classic XOR scheme on the raw `f64` bit
+//!   patterns: identical consecutive values cost one bit; otherwise the
+//!   XOR's meaningful window (between leading and trailing zeros) is
+//!   written, reusing the previous window when it still fits. Because
+//!   only bit patterns are manipulated, every value — `NaN` payloads,
+//!   `±inf`, signed zeros, subnormals — decodes to the exact bits that
+//!   went in (`f64::to_bits` equality, never `==`).
+//!
+//! Nothing in the format requires timestamps to be ordered or distinct;
+//! ordering is an invariant of the chunk layer, not the codec.
+
+use crate::tsdb::Sample;
+
+/// One compressed block of samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedChunk {
+    /// Number of samples in the block.
+    count: usize,
+    /// Zigzag-varint timestamp stream (raw, delta, then delta-of-deltas).
+    ts_bytes: Vec<u8>,
+    /// XOR-compressed value bit stream.
+    val_bytes: Vec<u8>,
+}
+
+impl EncodedChunk {
+    /// Number of samples stored.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Compressed payload size in bytes (timestamp + value streams).
+    pub fn compressed_bytes(&self) -> usize {
+        self.ts_bytes.len() + self.val_bytes.len()
+    }
+
+    /// Size the same samples occupy uncompressed (16 bytes each).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.count * std::mem::size_of::<Sample>()
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes get small codes.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads a LEB128 varint, advancing `pos`. Returns `None` on a truncated
+/// stream (corrupt input).
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Most-significant-bit-first bit writer over a byte vector.
+struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..8; 0 means byte-aligned).
+    used: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// Writes the low `n` bits of `v`, most significant first. `n <= 64`.
+    fn write(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(remaining);
+            let shifted = if remaining == 64 && take == 64 {
+                v
+            } else {
+                (v >> (remaining - take)) & ((1u64 << take) - 1)
+            };
+            let idx = self.bytes.len() - 1;
+            self.bytes[idx] |= (shifted as u8) << (free - take);
+            self.used = (self.used + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Most-significant-bit-first bit reader.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `n` bits (`n <= 64`), or `None` past the end of the stream.
+    fn read(&mut self, n: u32) -> Option<u64> {
+        if n == 0 {
+            return Some(0);
+        }
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut v = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.bytes[self.pos / 8];
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(remaining);
+            let chunk = (u64::from(byte) >> (avail - take)) & ((1u64 << take) - 1);
+            v = if remaining == 64 && take == 64 {
+                chunk
+            } else {
+                (v << take) | chunk
+            };
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Some(v)
+    }
+}
+
+/// Compresses `samples` (any timestamps, any values) into one block.
+pub fn encode(samples: &[Sample]) -> EncodedChunk {
+    let mut ts_bytes = Vec::with_capacity(samples.len().min(64) + 8);
+    let mut bits = BitWriter::new();
+
+    let mut prev_ts = 0i64;
+    let mut prev_delta = 0i64;
+    let mut prev_bits = 0u64;
+    // The current meaningful-bit window `(leading, trailing)`; `None`
+    // until the first non-zero XOR establishes one.
+    let mut window: Option<(u32, u32)> = None;
+
+    for (i, s) in samples.iter().enumerate() {
+        // --- timestamp ---
+        match i {
+            0 => put_varint(&mut ts_bytes, zigzag(s.timestamp)),
+            1 => {
+                let delta = s.timestamp.wrapping_sub(prev_ts);
+                put_varint(&mut ts_bytes, zigzag(delta));
+                prev_delta = delta;
+            }
+            _ => {
+                let delta = s.timestamp.wrapping_sub(prev_ts);
+                put_varint(&mut ts_bytes, zigzag(delta.wrapping_sub(prev_delta)));
+                prev_delta = delta;
+            }
+        }
+        prev_ts = s.timestamp;
+
+        // --- value ---
+        let cur = s.value.to_bits();
+        if i == 0 {
+            bits.write(cur, 64);
+        } else {
+            let xor = cur ^ prev_bits;
+            if xor == 0 {
+                bits.write(0, 1);
+            } else {
+                bits.write(1, 1);
+                let lead = xor.leading_zeros().min(63);
+                let trail = xor.trailing_zeros();
+                match window {
+                    Some((wl, wt)) if lead >= wl && trail >= wt => {
+                        bits.write(0, 1);
+                        bits.write(xor >> wt, 64 - wl - wt);
+                    }
+                    _ => {
+                        let meaningful = 64 - lead - trail;
+                        bits.write(1, 1);
+                        bits.write(u64::from(lead), 6);
+                        // `meaningful` is 1..=64; store it minus one so 64
+                        // fits in six bits.
+                        bits.write(u64::from(meaningful - 1), 6);
+                        bits.write(xor >> trail, meaningful);
+                        window = Some((lead, trail));
+                    }
+                }
+            }
+        }
+        prev_bits = cur;
+    }
+
+    EncodedChunk {
+        count: samples.len(),
+        ts_bytes,
+        val_bytes: bits.into_bytes(),
+    }
+}
+
+/// Decompresses a block back into its exact samples.
+///
+/// Returns `None` only on a corrupt (truncated) stream; every block
+/// produced by [`encode`] decodes to bit-identical input.
+pub fn decode(chunk: &EncodedChunk) -> Option<Vec<Sample>> {
+    let mut out = Vec::with_capacity(chunk.count);
+    let mut ts_pos = 0usize;
+    let mut bits = BitReader::new(&chunk.val_bytes);
+
+    let mut prev_ts = 0i64;
+    let mut prev_delta = 0i64;
+    let mut prev_bits = 0u64;
+    let mut window: Option<(u32, u32)> = None;
+
+    for i in 0..chunk.count {
+        // --- timestamp ---
+        let raw = unzigzag(get_varint(&chunk.ts_bytes, &mut ts_pos)?);
+        let ts = match i {
+            0 => raw,
+            1 => {
+                prev_delta = raw;
+                prev_ts.wrapping_add(raw)
+            }
+            _ => {
+                prev_delta = prev_delta.wrapping_add(raw);
+                prev_ts.wrapping_add(prev_delta)
+            }
+        };
+        prev_ts = ts;
+
+        // --- value ---
+        let cur = if i == 0 {
+            bits.read(64)?
+        } else if bits.read(1)? == 0 {
+            prev_bits
+        } else if bits.read(1)? == 0 {
+            let (wl, wt) = window?;
+            let meaningful = bits.read(64 - wl - wt)?;
+            prev_bits ^ (meaningful << wt)
+        } else {
+            let lead = bits.read(6)? as u32;
+            let meaningful = bits.read(6)? as u32 + 1;
+            let trail = 64 - lead - meaningful;
+            let xor = bits.read(meaningful)? << trail;
+            window = Some((lead, trail));
+            prev_bits ^ xor
+        };
+        prev_bits = cur;
+
+        out.push(Sample {
+            timestamp: ts,
+            value: f64::from_bits(cur),
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(samples: &[Sample]) -> EncodedChunk {
+        let chunk = encode(samples);
+        let back = decode(&chunk).expect("valid stream");
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            assert_eq!(a.timestamp, b.timestamp, "timestamp mismatch");
+            assert_eq!(
+                a.value.to_bits(),
+                b.value.to_bits(),
+                "value bits mismatch at t={}",
+                a.timestamp
+            );
+        }
+        chunk
+    }
+
+    fn s(t: i64, v: f64) -> Sample {
+        Sample {
+            timestamp: t,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let chunk = round_trip(&[]);
+        assert_eq!(chunk.count(), 0);
+        assert_eq!(chunk.compressed_bytes(), 0);
+        round_trip(&[s(0, 0.0)]);
+        round_trip(&[s(-7, -0.0)]);
+        round_trip(&[s(i64::MAX, f64::MAX)]);
+    }
+
+    #[test]
+    fn constant_series_costs_about_a_bit_per_value() {
+        let samples: Vec<Sample> = (0..1024).map(|t| s(t, 42.5)).collect();
+        let chunk = round_trip(&samples);
+        // Regular timestamps: 1 byte each after the first two. Constant
+        // values: 1 bit each after the first 64-bit value.
+        assert!(
+            chunk.compressed_bytes() < 1024 + 1024 / 8 + 32,
+            "constant series should compress to ~1.1 bytes/sample, got {}",
+            chunk.compressed_bytes()
+        );
+        assert!(chunk.compressed_bytes() * 10 < chunk.uncompressed_bytes());
+    }
+
+    #[test]
+    fn non_finite_values_round_trip_bit_exactly() {
+        // Distinct NaN payloads must survive: compare bits, never values.
+        let quiet_nan = f64::from_bits(0x7ff8_0000_0000_0001);
+        let weird_nan = f64::from_bits(0xfff0_dead_beef_cafe);
+        round_trip(&[
+            s(0, f64::NAN),
+            s(1, quiet_nan),
+            s(2, weird_nan),
+            s(3, f64::INFINITY),
+            s(4, f64::NEG_INFINITY),
+            s(5, 0.0),
+            s(6, -0.0),
+            s(7, f64::MIN_POSITIVE),
+            s(8, 5e-324), // smallest subnormal
+        ]);
+    }
+
+    #[test]
+    fn non_monotonic_and_duplicate_timestamps() {
+        round_trip(&[s(10, 1.0), s(5, 2.0), s(5, 3.0), s(-100, 4.0), s(10, 1.0)]);
+    }
+
+    #[test]
+    fn integer_extremes_round_trip() {
+        round_trip(&[
+            s(i64::MIN, f64::MIN),
+            s(i64::MAX, f64::MAX),
+            s(i64::MIN, -f64::MIN_POSITIVE),
+            s(0, f64::EPSILON),
+            s(i64::MAX - 1, 1.0),
+        ]);
+    }
+
+    #[test]
+    fn alternating_values_exercise_window_reset() {
+        // Alternating magnitudes force frequent control-path switches.
+        let samples: Vec<Sample> = (0..257)
+            .map(|t| {
+                s(
+                    t * 3,
+                    if t % 2 == 0 { 1e300 } else { -1e-300 } * (t as f64 + 1.0),
+                )
+            })
+            .collect();
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn quantized_telemetry_compresses_well() {
+        // Integer-valued CPU-percent style series with small steps: the
+        // realistic case the >=5x sealed-chunk memory-reduction target
+        // in BENCH rests on.
+        let samples: Vec<Sample> = (0..1000)
+            .map(|t| s(t * 15, ((50 + (t * 7919) % 11 - 5) as f64).max(0.0)))
+            .collect();
+        let chunk = round_trip(&samples);
+        assert!(
+            chunk.compressed_bytes() * 4 < chunk.uncompressed_bytes(),
+            "quantized telemetry should beat 4x, got {} of {}",
+            chunk.compressed_bytes(),
+            chunk.uncompressed_bytes()
+        );
+    }
+
+    #[test]
+    fn varint_zigzag_primitives() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 1 << 40] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = Vec::new();
+        for v in [0u64, 127, 128, u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in [0u64, 127, 128, u64::MAX] {
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+        assert_eq!(get_varint(&buf, &mut pos), None, "read past end");
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip_across_boundaries() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(u64::MAX, 64);
+        w.write(0, 1);
+        w.write(0x1234_5678_9abc_def0, 61);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(64), Some(u64::MAX));
+        assert_eq!(r.read(1), Some(0));
+        assert_eq!(r.read(61), Some(0x1234_5678_9abc_def0 & ((1 << 61) - 1)));
+        assert_eq!(r.read(64), None, "past end");
+    }
+
+    #[test]
+    fn truncated_stream_decodes_to_none_not_panic() {
+        let samples: Vec<Sample> = (0..100).map(|t| s(t, t as f64 * 0.1)).collect();
+        let mut chunk = encode(&samples);
+        chunk.val_bytes.truncate(chunk.val_bytes.len() / 2);
+        assert!(decode(&chunk).is_none());
+        let mut chunk2 = encode(&samples);
+        chunk2.ts_bytes.truncate(3);
+        assert!(decode(&chunk2).is_none());
+    }
+}

@@ -10,8 +10,10 @@
 //! same interfaces and semantics:
 //!
 //! - [`labels`]: label sets and matchers (the Prometheus data model).
-//! - [`tsdb`]: a label-indexed in-memory time-series database with
-//!   instant and range queries, safe for concurrent collectors.
+//! - [`tsdb`]: a sharded, label-indexed in-memory time-series database
+//!   with instant and range queries, safe for concurrent collectors;
+//!   closed chunks are Gorilla-compressed ([`codec`]) behind the
+//!   open-head/sealed-tail layout of [`chunk`].
 //! - [`discovery`]: scrape-target records carrying the `env` label,
 //!   serialised to exactly the JSON shape shown in §3 step 1.
 //! - [`alarms`]: the alarm store — each alarm pinpoints the testbed and
@@ -22,6 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod alarms;
+pub mod chunk;
+pub mod codec;
 pub mod discovery;
 pub mod labels;
 pub mod registry;
@@ -29,4 +33,4 @@ pub mod tsdb;
 
 pub use alarms::{Alarm, AlarmStore};
 pub use labels::{LabelMatcher, LabelSet};
-pub use tsdb::{Sample, TimeSeriesDb, TsdbStats};
+pub use tsdb::{Sample, TimeSeriesDb, TsdbConfig, TsdbStats};

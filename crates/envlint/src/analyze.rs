@@ -1,8 +1,14 @@
 //! Token-stream analysis: test-region tracking, rule pattern matching,
 //! and `allow` suppression.
+//!
+//! Line-local rules match directly over the token stream
+//! ([`scan_rule`]); the concurrency rules need liveness, so they run
+//! over the block/scope facts computed by [`crate::scope`]
+//! ([`scan_scope_rules`]).
 
-use crate::lexer::{lex, AllowDirective, Token, TokenKind};
+use crate::lexer::{lex, AllowDirective, CommentSpan, LexOutput, Token, TokenKind};
 use crate::rules::RuleId;
+use crate::scope::ScopeInfo;
 
 /// One lint violation.
 #[derive(Debug, Clone)]
@@ -46,6 +52,7 @@ pub fn lint_source(file: &str, crate_dir: &str, source: &str) -> Vec<Finding> {
         }
         scan_rule(rule, &out.tokens, &test_regions, file, &mut findings);
     }
+    scan_scope_rules(crate_dir, &out, &test_regions, file, &mut findings);
     check_directives(&out.directives, file, &mut findings);
     findings.retain(|f| f.rule == RuleId::BadAllow || !suppressed(f, &out.directives, &out.tokens));
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
@@ -321,9 +328,159 @@ fn scan_rule(
                     );
                 }
             }
+            // Handled by the scope pass, which needs liveness, not
+            // token-local patterns.
+            RuleId::LockAcrossSpawn
+            | RuleId::LockOrder
+            | RuleId::UnsafeBlock
+            | RuleId::GuardAcrossIo => {}
             RuleId::BadAllow => {}
         }
     }
+}
+
+/// Runs the four concurrency rules over the scope facts of one file.
+///
+/// Findings report at the *hazard* site (the spawn/IO call, the second
+/// acquisition, the `unsafe` keyword), because that is the line an allow
+/// directive with the ordering argument belongs on.
+fn scan_scope_rules(
+    crate_dir: &str,
+    out: &LexOutput,
+    test_regions: &[(usize, usize)],
+    file: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &out.tokens;
+    let info = ScopeInfo::analyze(tokens);
+    let push = |rule: RuleId, idx: usize, message: String, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            rule,
+            file: file.to_string(),
+            line: tokens[idx].line,
+            message,
+        });
+    };
+
+    if RuleId::LockAcrossSpawn.applies_to(crate_dir) {
+        for g in &info.guards {
+            if in_regions(test_regions, g.acquire_idx) {
+                continue;
+            }
+            for &s in &info.spawns {
+                if g.acquire_idx < s && s < g.end_idx && !in_regions(test_regions, s) {
+                    push(
+                        RuleId::LockAcrossSpawn,
+                        s,
+                        format!(
+                            "`{}.{}()` guard (line {}) is live across `{}` — a pool job re-acquiring it deadlocks against its spawner; drop the guard first",
+                            g.receiver, g.method, tokens[g.acquire_idx].line, tokens[s].text
+                        ),
+                        findings,
+                    );
+                }
+            }
+        }
+    }
+
+    if RuleId::GuardAcrossIo.applies_to(crate_dir) {
+        for g in &info.guards {
+            if in_regions(test_regions, g.acquire_idx) {
+                continue;
+            }
+            for &s in &info.io_calls {
+                if g.acquire_idx < s && s < g.end_idx && !in_regions(test_regions, s) {
+                    push(
+                        RuleId::GuardAcrossIo,
+                        s,
+                        format!(
+                            "`{}.{}()` guard (line {}) is live across blocking I/O `{}` — device latency under the lock serializes every thread behind it",
+                            g.receiver, g.method, tokens[g.acquire_idx].line, tokens[s].text
+                        ),
+                        findings,
+                    );
+                }
+            }
+        }
+    }
+
+    if RuleId::LockOrder.applies_to(crate_dir) {
+        for (ai, a) in info.guards.iter().enumerate() {
+            for b in &info.guards[ai + 1..] {
+                // b acquired while a is still live ⇒ nested lock order
+                // a → b at this site. Two guards off the *same* receiver
+                // are a re-entrancy bug too, but the runtime sanitizer
+                // owns that; statically we flag distinct-lock nesting.
+                if b.acquire_idx < a.end_idx
+                    && a.receiver != b.receiver
+                    && !in_regions(test_regions, a.acquire_idx)
+                    && !in_regions(test_regions, b.acquire_idx)
+                {
+                    push(
+                        RuleId::LockOrder,
+                        b.acquire_idx,
+                        format!(
+                            "`{}.{}()` acquired while `{}.{}()` (line {}) is still held — nested lock order must be globally fixed; allow with the ordering argument or narrow the first guard",
+                            b.receiver, b.method, a.receiver, a.method, tokens[a.acquire_idx].line
+                        ),
+                        findings,
+                    );
+                }
+            }
+        }
+    }
+
+    if RuleId::UnsafeBlock.applies_to(crate_dir) {
+        let runs = comment_runs(&out.comments);
+        for site in &info.unsafes {
+            if in_regions(test_regions, site.idx) {
+                continue;
+            }
+            let line = tokens[site.idx].line;
+            let covered = runs
+                .iter()
+                .any(|r| r.has_safety && r.start <= line && line <= r.end + 1);
+            if !covered {
+                let what = if site.is_block { "block" } else { "item" };
+                push(
+                    RuleId::UnsafeBlock,
+                    site.idx,
+                    format!(
+                        "`unsafe` {what} without a `// SAFETY:` comment — document why the invariants hold directly above it"
+                    ),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// A maximal run of comment lines with no code line between them.
+struct CommentRun {
+    start: u32,
+    end: u32,
+    has_safety: bool,
+}
+
+/// Groups comment spans into contiguous runs: a `SAFETY:` marker
+/// anywhere in a run covers `unsafe` sites through the line directly
+/// after the run, so a multi-paragraph safety argument still counts.
+fn comment_runs(comments: &[CommentSpan]) -> Vec<CommentRun> {
+    let mut runs: Vec<CommentRun> = Vec::new();
+    for c in comments {
+        match runs.last_mut() {
+            Some(r) if c.start_line <= r.end + 1 => {
+                r.end = r.end.max(c.end_line);
+                r.has_safety |= c.has_safety;
+            }
+            _ => runs.push(CommentRun {
+                start: c.start_line,
+                end: c.end_line,
+                has_safety: c.has_safety,
+            }),
+        }
+    }
+    runs
 }
 
 /// Whether the token at `idx` ends a float operand: a float literal, or
@@ -541,5 +698,131 @@ fn f() -> u32 {
         let src = "fn t() { x.unwrap(); }\n// envlint: allow(no-panic)\n";
         let f = lint_test_source("t.rs", src);
         assert_eq!(rules_at(&f), vec![("bad-allow", 2)]);
+    }
+
+    #[test]
+    fn lock_across_spawn_fires_at_the_spawn_site() {
+        let src = "\
+fn f() -> Result<(), E> {
+    let g = self.state.lock();
+    par::scope(|s| {
+        s.spawn_named(\"job\", || work());
+    });
+    Ok(())
+}
+";
+        let f = lint_source("a.rs", "par", src);
+        assert_eq!(
+            rules_at(&f),
+            vec![("lock-across-spawn", 3), ("lock-across-spawn", 4)]
+        );
+    }
+
+    #[test]
+    fn dropped_guard_does_not_fire_across_spawn() {
+        let src = "\
+fn f() {
+    let g = self.state.lock();
+    let n = g.len();
+    drop(g);
+    par::scope(|s| { s.spawn_named(\"job\", move || use_it(n)); });
+}
+";
+        assert!(lint_source("a.rs", "par", src).is_empty());
+    }
+
+    #[test]
+    fn inner_block_guard_does_not_fire_across_spawn() {
+        let src = "\
+fn f() {
+    { let g = self.state.lock(); touch(&g); }
+    par::scope(|s| { s.spawn_named(\"job\", || work()); });
+}
+";
+        assert!(lint_source("a.rs", "par", src).is_empty());
+    }
+
+    #[test]
+    fn lock_order_fires_at_second_acquisition_and_allows_suppress() {
+        let src = "\
+fn f() {
+    let a = self.shards[0].series.read();
+    let b = self.shards[1].series.read();
+}
+fn g() {
+    let a = self.shards[0].series.read();
+    // envlint: allow(lock-order) — shard indices ascend, order is fixed
+    let b = self.shards[1].series.read();
+}
+";
+        let f = lint_source("a.rs", "telemetry", src);
+        assert_eq!(rules_at(&f), vec![("lock-order", 3)]);
+    }
+
+    #[test]
+    fn sequential_guards_are_not_a_lock_order_pair() {
+        let src = "\
+fn f() {
+    { let a = self.x.lock(); touch(&a); }
+    { let b = self.y.lock(); touch(&b); }
+}
+";
+        assert!(lint_source("a.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let src = "\
+fn f() {
+    unsafe { deref(p) };
+}
+fn g() {
+    // SAFETY: p outlives the call — pinned by the scope above.
+    unsafe { deref(p) };
+}
+";
+        let f = lint_source("a.rs", "par", src);
+        assert_eq!(rules_at(&f), vec![("unsafe-block", 2)]);
+    }
+
+    #[test]
+    fn multi_line_safety_run_covers_the_unsafe_line() {
+        let src = "\
+fn f() {
+    // SAFETY: the borrow is erased only for the scope's lifetime;
+    // the scope joins every job before returning, so no reference
+    // escapes.
+    let s = unsafe { transmute(x) };
+}
+";
+        assert!(lint_source("a.rs", "par", src).is_empty());
+    }
+
+    #[test]
+    fn guard_across_io_fires_at_the_io_site() {
+        let src = "\
+fn f() {
+    let g = self.index.write();
+    let text = fs::read_to_string(path);
+}
+";
+        let f = lint_source("a.rs", "core", src);
+        assert_eq!(rules_at(&f), vec![("guard-across-io", 3)]);
+    }
+
+    #[test]
+    fn scope_rules_skip_test_regions() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let a = m.lock();
+        let b = n.lock();
+        par::scope(|s| { s.spawn_named(\"x\", || ()); });
+        unsafe { deref(p) };
+    }
+}
+";
+        assert!(lint_source("a.rs", "core", src).is_empty());
     }
 }

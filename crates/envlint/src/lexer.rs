@@ -56,6 +56,21 @@ pub struct AllowDirective {
     pub standalone: bool,
 }
 
+/// One comment's position and safety-relevant content.
+///
+/// The analyzer needs comments for exactly one rule: `unsafe-block`
+/// accepts an `unsafe` site only when a `// SAFETY:` comment sits on or
+/// directly above it. Comment *text* stays out of the token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct CommentSpan {
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (block comments may span lines).
+    pub end_line: u32,
+    /// Whether the comment contains a `SAFETY:` marker.
+    pub has_safety: bool,
+}
+
 /// Lexer output: the comment-free token stream and the control comments.
 #[derive(Debug, Default)]
 pub struct LexOutput {
@@ -63,6 +78,8 @@ pub struct LexOutput {
     pub tokens: Vec<Token>,
     /// `envlint: allow` directives found in comments.
     pub directives: Vec<AllowDirective>,
+    /// Every comment's line span plus whether it carries `SAFETY:`.
+    pub comments: Vec<CommentSpan>,
 }
 
 /// Two- and three-character operators lexed as single punct tokens, in
@@ -181,6 +198,11 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
+        self.out.comments.push(CommentSpan {
+            start_line: line,
+            end_line: line,
+            has_safety: text.contains("SAFETY:"),
+        });
         self.directive_from_comment(&text, line);
     }
 
@@ -207,6 +229,11 @@ impl Lexer {
                 self.bump();
             }
         }
+        self.out.comments.push(CommentSpan {
+            start_line: line,
+            end_line: self.line,
+            has_safety: text.contains("SAFETY:"),
+        });
         self.directive_from_comment(&text, line);
     }
 
@@ -578,6 +605,25 @@ mod tests {
         let out = lex("/* outer /* inner */ still comment */ ident");
         assert_eq!(out.tokens.len(), 1);
         assert_eq!(out.tokens[0].text, "ident");
+    }
+
+    #[test]
+    fn comment_spans_track_lines_and_safety_markers() {
+        let out =
+            lex("// plain note\n// SAFETY: ptr is valid\nx; /* multi\nline\nSAFETY: block */ y;");
+        assert_eq!(out.comments.len(), 3);
+        assert_eq!(
+            (out.comments[0].start_line, out.comments[0].end_line),
+            (1, 1)
+        );
+        assert!(!out.comments[0].has_safety);
+        assert!(out.comments[1].has_safety);
+        assert_eq!(
+            (out.comments[2].start_line, out.comments[2].end_line),
+            (3, 5),
+            "block comment spans its lines"
+        );
+        assert!(out.comments[2].has_safety);
     }
 
     #[test]

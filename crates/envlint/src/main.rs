@@ -4,9 +4,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use envlint::rules::RuleId;
-use envlint::{find_workspace_root, findings_to_json, lint_workspace};
+use envlint::{find_workspace_root, findings_to_json, findings_to_sarif, lint_workspace};
 
-const USAGE: &str = "usage: envlint [--check] [--format=text|json] [--root PATH] | --rules\n\
+const USAGE: &str = "usage: envlint [--check] [--format=text|json|sarif] [--root PATH] | --rules\n\
      exit status: 0 clean, 1 findings, 2 usage or I/O error";
 
 fn main() -> ExitCode {
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
             },
             _ if arg.starts_with("--format=") => {
                 format = arg["--format=".len()..].to_string();
-                if format != "text" && format != "json" {
+                if format != "text" && format != "json" && format != "sarif" {
                     eprintln!("unknown format `{format}`\n{USAGE}");
                     return ExitCode::from(2);
                 }
@@ -70,6 +70,8 @@ fn main() -> ExitCode {
 
     if format == "json" {
         print!("{}", findings_to_json(&findings));
+    } else if format == "sarif" {
+        print!("{}", findings_to_sarif(&findings));
     } else {
         for f in &findings {
             println!("{}", f.render());

@@ -37,20 +37,79 @@ pub enum RuleId {
     /// `linalg` hot kernels, where a silently truncated index corrupts
     /// results at production matrix sizes.
     CastTruncation,
+    /// A lock guard (`.lock()` / `.read()` / `.write()` binding) live
+    /// across a call that hands work to the pool (`par::scope`, `spawn`,
+    /// `spawn_named`, `par_for_chunks`, ...). The help-stealing scope
+    /// owner runs sibling jobs inline, so a job that re-acquires the
+    /// held lock deadlocks against its own spawner.
+    LockAcrossSpawn,
+    /// Two distinct lock acquisitions live in the same scope. With 16
+    /// per-shard lock domains in the TSDB, inconsistent nesting order
+    /// between any two sites is an ABBA deadlock waiting for load;
+    /// allowed only with a reason proving the order is globally fixed
+    /// (e.g. ascending shard index).
+    LockOrder,
+    /// An `unsafe` block, fn, or impl without a `// SAFETY:` comment on
+    /// or directly above it documenting why the invariants hold.
+    UnsafeBlock,
+    /// A lock guard live across a blocking file/network call. Device
+    /// latency under a shard lock serializes every thread touching that
+    /// shard behind the disk.
+    GuardAcrossIo,
     /// An `envlint: allow` directive with no reason text, or naming an
     /// unknown rule. Emitted by the analyzer itself.
     BadAllow,
 }
 
+/// Crates whose output lands in the repro tables or scraped telemetry:
+/// the `wall-clock` rule's positive scope. Paired with
+/// [`WALL_CLOCK_EXEMPT`]; the two lists must jointly cover every
+/// workspace member (enforced by `tests/scope_coverage.rs`), so a new
+/// crate cannot silently fall outside the rule.
+pub const WALL_CLOCK_SCOPE: [&str; 10] = [
+    "core",
+    "nn",
+    "baselines",
+    "linalg",
+    "htm",
+    "datagen",
+    "eval",
+    "par",
+    "introspect",
+    "telemetry",
+];
+
+/// Crates documented as *intentionally* outside `wall-clock`: the CLI
+/// and bench driver measure wall time by design, `obs` timestamps spans,
+/// `envlint` holds no model state, and `xtests` is test code.
+pub const WALL_CLOCK_EXEMPT: [&str; 5] = ["cli", "bench", "obs", "envlint", "xtests"];
+
+/// Crates exempt from `hash-iter`: flag parsing and the bench driver do
+/// I/O, not numerics; `envlint` itself holds no model state.
+pub const HASH_ITER_EXEMPT: [&str; 4] = ["cli", "bench", "envlint", "xtests"];
+
 impl RuleId {
     /// All reportable rules, in severity order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NoPanic,
         RuleId::FloatCmp,
         RuleId::HashIter,
         RuleId::WallClock,
         RuleId::CastTruncation,
+        RuleId::LockAcrossSpawn,
+        RuleId::LockOrder,
+        RuleId::UnsafeBlock,
+        RuleId::GuardAcrossIo,
         RuleId::BadAllow,
+    ];
+
+    /// The four concurrency rules introduced with the block-scoped
+    /// analyzer, in one place so CI can gate specifically on them.
+    pub const CONCURRENCY: [RuleId; 4] = [
+        RuleId::LockAcrossSpawn,
+        RuleId::LockOrder,
+        RuleId::UnsafeBlock,
+        RuleId::GuardAcrossIo,
     ];
 
     /// The stable id used in output and in `allow(...)` directives.
@@ -61,6 +120,10 @@ impl RuleId {
             RuleId::HashIter => "hash-iter",
             RuleId::WallClock => "wall-clock",
             RuleId::CastTruncation => "cast-truncation",
+            RuleId::LockAcrossSpawn => "lock-across-spawn",
+            RuleId::LockOrder => "lock-order",
+            RuleId::UnsafeBlock => "unsafe-block",
+            RuleId::GuardAcrossIo => "guard-across-io",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -86,6 +149,16 @@ impl RuleId {
                 "no SystemTime/Instant::now or OS-entropy RNG in repro-table crates"
             }
             RuleId::CastTruncation => "no narrowing integer `as` casts in linalg hot kernels",
+            RuleId::LockAcrossSpawn => {
+                "no lock guard live across par::scope/spawn/par_for_chunks (pool deadlock risk)"
+            }
+            RuleId::LockOrder => {
+                "no two lock guards live in the same scope without a reasoned ordering allow"
+            }
+            RuleId::UnsafeBlock => "no unsafe without a `// SAFETY:` comment on or above it",
+            RuleId::GuardAcrossIo => {
+                "no lock guard live across blocking file/network calls (shard serialization)"
+            }
             RuleId::BadAllow => "envlint: allow directive without a reason or with an unknown rule",
         }
     }
@@ -101,9 +174,14 @@ impl RuleId {
     pub fn applies_to(self, crate_dir: &str) -> bool {
         match self {
             RuleId::NoPanic | RuleId::FloatCmp | RuleId::BadAllow => true,
-            // cli flag parsing and the bench driver do I/O, not numerics;
-            // envlint itself holds no model state.
-            RuleId::HashIter => !matches!(crate_dir, "cli" | "bench" | "envlint" | "xtests"),
+            // The concurrency rules apply everywhere: a deadlock or an
+            // undocumented unsafe is a hazard regardless of which crate
+            // it lives in.
+            RuleId::LockAcrossSpawn
+            | RuleId::LockOrder
+            | RuleId::UnsafeBlock
+            | RuleId::GuardAcrossIo => true,
+            RuleId::HashIter => !HASH_ITER_EXEMPT.contains(&crate_dir),
             // `par` is in scope: its determinism contract forbids timing
             // from influencing results, so any clock use there must carry
             // a reasoned allow (pool-utilisation metrics only).
@@ -115,19 +193,7 @@ impl RuleId {
             // self-instrumenting: stored samples and query results must
             // stay a pure function of the writes, so the engine's one
             // latency-timer call site carries a reasoned allow.
-            RuleId::WallClock => matches!(
-                crate_dir,
-                "core"
-                    | "nn"
-                    | "baselines"
-                    | "linalg"
-                    | "htm"
-                    | "datagen"
-                    | "eval"
-                    | "par"
-                    | "introspect"
-                    | "telemetry"
-            ),
+            RuleId::WallClock => WALL_CLOCK_SCOPE.contains(&crate_dir),
             RuleId::CastTruncation => crate_dir == "linalg",
         }
     }
@@ -157,5 +223,28 @@ mod tests {
         assert!(!RuleId::WallClock.applies_to("obs"));
         assert!(RuleId::CastTruncation.applies_to("linalg"));
         assert!(!RuleId::CastTruncation.applies_to("nn"));
+        for rule in RuleId::CONCURRENCY {
+            for c in [
+                "core",
+                "par",
+                "telemetry",
+                "obs",
+                "cli",
+                "envlint",
+                "xtests",
+            ] {
+                assert!(rule.applies_to(c), "{} must apply to {c}", rule.id());
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_scope_and_exempt_are_disjoint() {
+        for c in WALL_CLOCK_SCOPE {
+            assert!(
+                !WALL_CLOCK_EXEMPT.contains(&c),
+                "{c} is in both the scope and the exempt list"
+            );
+        }
     }
 }

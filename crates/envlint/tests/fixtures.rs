@@ -102,6 +102,85 @@ fn bad_allow_fixture() {
 }
 
 #[test]
+fn lock_across_spawn_fixture() {
+    let got = check(
+        "lock_across_spawn.rs",
+        "par",
+        include_str!("fixtures/lock_across_spawn.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("lock-across-spawn".to_string(), 6),
+            ("lock-across-spawn".to_string(), 7),
+            ("lock-across-spawn".to_string(), 14),
+            ("lock-across-spawn".to_string(), 20),
+        ]
+    );
+}
+
+#[test]
+fn lock_order_fixture() {
+    let got = check(
+        "lock_order.rs",
+        "telemetry",
+        include_str!("fixtures/lock_order.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("lock-order".to_string(), 6),
+            ("lock-order".to_string(), 12),
+        ]
+    );
+}
+
+#[test]
+fn unsafe_block_fixture() {
+    let got = check(
+        "unsafe_block.rs",
+        "par",
+        include_str!("fixtures/unsafe_block.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("unsafe-block".to_string(), 4),
+            ("unsafe-block".to_string(), 7),
+        ]
+    );
+}
+
+#[test]
+fn guard_across_io_fixture() {
+    let got = check(
+        "guard_across_io.rs",
+        "core",
+        include_str!("fixtures/guard_across_io.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("guard-across-io".to_string(), 6),
+            ("guard-across-io".to_string(), 12),
+            ("guard-across-io".to_string(), 18),
+        ]
+    );
+}
+
+#[test]
+fn guard_dropped_clean_fixture_stays_clean() {
+    // The concurrency rules apply in every crate, so one strict scope
+    // suffices; the fixture seeds near-misses for all four rules.
+    let got = check(
+        "guard_dropped_clean.rs",
+        "par",
+        include_str!("fixtures/guard_dropped_clean.rs"),
+    );
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     // Run under the strictest combination of scopes the workspace uses.
     for crate_dir in ["core", "nn", "eval", "linalg"] {

@@ -1,0 +1,27 @@
+//! Seeded `guard-across-io` violations: a lock guard live across
+//! blocking file/network calls. Caught at the I/O site.
+
+fn read_under_lock(index: &RwLock<Index>, path: &Path) -> String {
+    let view = index.read();
+    let text = fs::read_to_string(path);
+    join(&view, text)
+}
+
+fn open_under_lock(state: &Mutex<State>, path: &Path) {
+    let g = state.lock();
+    let file = File::open(path);
+    record(&g, file);
+}
+
+fn connect_under_lock(peers: &Mutex<Peers>, addr: &str) {
+    let table = peers.lock();
+    let conn = TcpStream::connect(addr);
+    insert(&table, conn);
+}
+
+fn io_after_drop_is_fine(index: &RwLock<Index>, path: &Path) -> String {
+    let view = index.read();
+    let key = view.key();
+    drop(view);
+    fs::read_to_string(path).unwrap_or_else(|_| key)
+}

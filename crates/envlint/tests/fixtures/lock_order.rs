@@ -1,0 +1,22 @@
+//! Seeded `lock-order` violations: a second lock acquired while the
+//! first is still held. Caught at the second acquisition.
+
+fn nested_distinct_locks(a: &Mutex<A>, b: &Mutex<B>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    touch(&ga, &gb);
+}
+
+fn cross_shard_reads(shards: &[Shard]) {
+    let left = shards[0].series.read();
+    let right = shards[1].series.read();
+    merge(&left, &right);
+}
+
+fn fixed_order_with_reason(shards: &[Shard]) {
+    let left = shards[0].series.read();
+    // envlint: allow(lock-order) — shard indices ascend at every
+    // call site, so the acquisition order is globally fixed.
+    let right = shards[1].series.read();
+    merge(&left, &right);
+}

@@ -1,0 +1,15 @@
+//! Seeded `unsafe-block` violations: unsafe without a SAFETY comment.
+
+fn undocumented_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn undocumented_item(p: *const u8) -> u8 {
+    *p
+}
+
+fn documented_block(x: &T) -> &'static T {
+    // SAFETY: the erased lifetime never escapes this function; the
+    // scope below joins every borrower before returning.
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,96 @@
+//! Guards against the silent-scope-gap hazard: `RuleId::applies_to`
+//! scopes are hand-maintained name lists, so a newly added crate could
+//! otherwise fall outside a rule without anyone deciding that.
+//!
+//! Every workspace member must appear in either the rule's explicit
+//! in-scope list or its documented out-of-scope list — and the lists
+//! must not carry stale names for crates that no longer exist.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use envlint::find_workspace_root;
+use envlint::rules::{HASH_ITER_EXEMPT, WALL_CLOCK_EXEMPT, WALL_CLOCK_SCOPE};
+
+/// Directory names of every workspace member: each entry of `crates/*`
+/// plus `xtests` (mirroring `workspace.members` in the root manifest).
+fn member_dirs(root: &Path) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for entry in std::fs::read_dir(root.join("crates")).expect("read crates/") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            names.insert(
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .expect("crate dir name")
+                    .to_string(),
+            );
+        }
+    }
+    if root.join("xtests").join("Cargo.toml").is_file() {
+        names.insert("xtests".to_string());
+    }
+    names
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+#[test]
+fn members_match_the_manifest_globs() {
+    // The scan above must agree with what Cargo actually builds: the
+    // root manifest declares `crates/*` and `xtests`. If the member
+    // globs ever change, this test — and the scope lists — need a look.
+    let manifest =
+        std::fs::read_to_string(workspace_root().join("Cargo.toml")).expect("root Cargo.toml");
+    assert!(
+        manifest.contains("\"crates/*\"") && manifest.contains("\"xtests\""),
+        "workspace.members no longer matches the crates/* + xtests layout \
+         this test enumerates; update member_dirs() to follow it"
+    );
+}
+
+#[test]
+fn every_member_has_an_explicit_wall_clock_decision() {
+    let members = member_dirs(&workspace_root());
+    let mut undecided = Vec::new();
+    for name in &members {
+        let in_scope = WALL_CLOCK_SCOPE.contains(&name.as_str());
+        let exempt = WALL_CLOCK_EXEMPT.contains(&name.as_str());
+        if !in_scope && !exempt {
+            undecided.push(name.clone());
+        }
+    }
+    assert!(
+        undecided.is_empty(),
+        "crates with no wall-clock scoping decision: {undecided:?} — add each \
+         to WALL_CLOCK_SCOPE (its output feeds repro tables) or to \
+         WALL_CLOCK_EXEMPT (with the reason) in crates/envlint/src/rules.rs"
+    );
+}
+
+#[test]
+fn scope_lists_carry_no_stale_names() {
+    let members = member_dirs(&workspace_root());
+    for name in WALL_CLOCK_SCOPE
+        .iter()
+        .chain(WALL_CLOCK_EXEMPT.iter())
+        .chain(HASH_ITER_EXEMPT.iter())
+    {
+        assert!(
+            members.contains(*name),
+            "`{name}` is listed in a rule scope but is not a workspace member; \
+             remove the stale entry from crates/envlint/src/rules.rs"
+        );
+    }
+}
+
+#[test]
+fn hash_iter_exemptions_are_a_subset_of_known_members() {
+    // hash-iter is deny-by-default (a new crate is automatically in
+    // scope), so only the exempt list can go stale — covered above.
+    // This pins the *current* exemptions so widening the list is a
+    // reviewed decision, not a drive-by edit.
+    assert_eq!(HASH_ITER_EXEMPT, ["cli", "bench", "envlint", "xtests"]);
+}

@@ -14,8 +14,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use env2vec_telemetry::locks::TrackedRwLock;
 pub use env2vec_telemetry::LabelSet;
-use parking_lot::RwLock;
 
 /// Monotonically increasing count.
 #[derive(Debug, Default)]
@@ -281,9 +281,17 @@ pub struct MetricSample {
 /// Keyed by a `BTreeMap` so every walk over the registry — snapshots,
 /// scrapes, exports — sees series in `(name, labels)` order with no
 /// per-process randomisation (envlint `hash-iter`).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
+    metrics: TrackedRwLock<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            metrics: TrackedRwLock::new("obs.metrics.registry", BTreeMap::new()),
+        }
+    }
 }
 
 impl MetricsRegistry {

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use env2vec_telemetry::locks::TrackedMutex;
 
 /// Upper bound on retained spans; beyond it new spans are counted but
 /// dropped, keeping memory bounded on runaway loops.
@@ -54,8 +54,11 @@ thread_local! {
     // open elsewhere — the span id must be removed from the owner's
     // stack, not the dropper's, or the owner's parent/depth tracking
     // would be corrupted for every later span.
-    static THREAD_STATE: std::sync::Arc<Mutex<ThreadState>> =
-        std::sync::Arc::new(Mutex::new(ThreadState { stack: Vec::new(), tid: 0 }));
+    static THREAD_STATE: std::sync::Arc<TrackedMutex<ThreadState>> =
+        std::sync::Arc::new(TrackedMutex::new(
+            "obs.span.thread_state",
+            ThreadState { stack: Vec::new(), tid: 0 },
+        ));
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -66,7 +69,7 @@ pub struct SpanCollector {
     epoch: Instant,
     next_id: AtomicU64,
     dropped: AtomicU64,
-    records: Mutex<Vec<SpanRecord>>,
+    records: TrackedMutex<Vec<SpanRecord>>,
 }
 
 impl Default for SpanCollector {
@@ -82,7 +85,7 @@ impl SpanCollector {
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
-            records: Mutex::new(Vec::new()),
+            records: TrackedMutex::new("obs.span.records", Vec::new()),
         }
     }
 
@@ -117,7 +120,7 @@ impl SpanCollector {
         }
     }
 
-    fn finish(&self, mut record: SpanRecord, started: Instant, owner: &Mutex<ThreadState>) {
+    fn finish(&self, mut record: SpanRecord, started: Instant, owner: &TrackedMutex<ThreadState>) {
         record.dur_us = started.elapsed().as_micros() as u64;
         {
             // Pop from the stack of the thread the span *started* on —
@@ -249,7 +252,7 @@ pub struct SpanGuard<'a> {
     started: Instant,
     /// Nesting state of the thread the span started on; finishing must
     /// mutate this state even when the guard drops on another thread.
-    owner: std::sync::Arc<Mutex<ThreadState>>,
+    owner: std::sync::Arc<TrackedMutex<ThreadState>>,
 }
 
 impl SpanGuard<'_> {

@@ -1,24 +1,21 @@
 //! Minimal multi-producer/multi-consumer job channel.
 //!
 //! `std::sync::mpsc` is single-consumer and the vendored `parking_lot`
-//! offers no condition variable, so the pool's queue is a plain
-//! `Mutex<VecDeque>` + `Condvar` pair from `std`. Poisoning is recovered
+//! offers no condition variable, so the pool's queue is a
+//! `TrackedMutex<VecDeque>` + `Condvar` pair. Poisoning is recovered
 //! rather than propagated: the queue holds only boxed closures and a
 //! panicking producer/consumer cannot leave it in a torn state, so the
-//! lock data is always valid.
+//! lock data is always valid. Under the `lock-sanitizer` feature the
+//! queue lock participates in the process-wide acquisition-order graph.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar};
+
+use env2vec_telemetry::locks::{self, TrackedMutex};
 
 struct Shared<T> {
-    queue: Mutex<VecDeque<T>>,
+    queue: TrackedMutex<VecDeque<T>>,
     ready: Condvar,
-}
-
-impl<T> Shared<T> {
-    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
-        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
-    }
 }
 
 /// Sending half; cloneable across producers.
@@ -37,7 +34,7 @@ impl<T> Clone for Sender<T> {
 impl<T> Sender<T> {
     /// Enqueues a value and wakes one blocked receiver.
     pub fn send(&self, value: T) {
-        self.shared.lock().push_back(value);
+        self.shared.queue.lock().push_back(value);
         self.shared.ready.notify_one();
     }
 }
@@ -58,35 +55,31 @@ impl<T> Clone for Receiver<T> {
 impl<T> Receiver<T> {
     /// Blocks until a value is available.
     pub fn recv(&self) -> T {
-        let mut queue = self.shared.lock();
+        let mut queue = self.shared.queue.lock();
         loop {
             if let Some(value) = queue.pop_front() {
                 return value;
             }
-            queue = self
-                .shared
-                .ready
-                .wait(queue)
-                .unwrap_or_else(PoisonError::into_inner);
+            queue = locks::wait(&self.shared.ready, queue);
         }
     }
 
     /// Pops a value if one is immediately available.
     pub fn try_recv(&self) -> Option<T> {
-        self.shared.lock().pop_front()
+        self.shared.queue.lock().pop_front()
     }
 
     /// Number of queued values at this instant.
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.shared.lock().len()
+        self.shared.queue.lock().len()
     }
 }
 
 /// Creates a connected mpmc channel.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
+        queue: TrackedMutex::new("par.chan.queue", VecDeque::new()),
         ready: Condvar::new(),
     });
     (

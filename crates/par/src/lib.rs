@@ -60,7 +60,9 @@ use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, OnceLock};
+
+use env2vec_telemetry::locks::{self, TrackedMutex};
 
 /// Environment variable consulted when no explicit thread count is set.
 pub const THREADS_ENV_VAR: &str = "ENV2VEC_THREADS";
@@ -71,20 +73,6 @@ static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Innermost `with_thread_limit` on this thread; 0 means "not set".
     static LOCAL_LIMIT: Cell<usize> = const { Cell::new(0) };
-}
-
-/// Locks a mutex, recovering from poisoning.
-///
-/// Scope bookkeeping data (counters, an `Option` payload) is valid after
-/// any partial update, and job panics are already funnelled through
-/// `catch_unwind`, so propagating poison would only turn a reported
-/// panic into a second, less informative one.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
 fn default_parallelism() -> usize {
@@ -142,20 +130,23 @@ type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 struct ScopeState {
     /// Spawned-but-unfinished job count, with a condvar for the owner to
-    /// wait on. `std::sync` because the vendored `parking_lot` has no
-    /// `Condvar`.
-    pending: Mutex<usize>,
+    /// wait on. Tracked locks recover poison — scope bookkeeping data
+    /// (a counter, an `Option` payload) is valid after any partial
+    /// update, and job panics are already funnelled through
+    /// `catch_unwind`, so propagating poison would only turn a reported
+    /// panic into a second, less informative one.
+    pending: TrackedMutex<usize>,
     done: Condvar,
     /// First panic payload raised by a job of this scope.
-    panic: Mutex<Option<PanicPayload>>,
+    panic: TrackedMutex<Option<PanicPayload>>,
 }
 
 impl ScopeState {
     fn new() -> Self {
         ScopeState {
-            pending: Mutex::new(0),
+            pending: TrackedMutex::new("par.scope.pending", 0),
             done: Condvar::new(),
-            panic: Mutex::new(None),
+            panic: TrackedMutex::new("par.scope.panic", None),
         }
     }
 }
@@ -184,7 +175,7 @@ impl<'env> Scope<'env> {
             f();
             return;
         }
-        *lock(&self.state.pending) += 1;
+        *self.state.pending.lock() += 1;
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
         // SAFETY: the only thing done with the transmuted box is calling
@@ -197,12 +188,12 @@ impl<'env> Scope<'env> {
         };
         pool::submit(Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                let mut slot = lock(&state.panic);
+                let mut slot = state.panic.lock();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
             }
-            let mut pending = lock(&state.pending);
+            let mut pending = state.pending.lock();
             *pending -= 1;
             if *pending == 0 {
                 state.done.notify_all();
@@ -238,7 +229,7 @@ impl Drop for Completion<'_> {
         // refused us workers entirely this loop alone completes the
         // scope (no deadlock by construction).
         loop {
-            if *lock(&self.0.pending) == 0 {
+            if *self.0.pending.lock() == 0 {
                 return;
             }
             match pool::try_steal() {
@@ -247,9 +238,9 @@ impl Drop for Completion<'_> {
             }
         }
         // Queue drained; the remaining jobs are in flight on workers.
-        let mut pending = lock(&self.0.pending);
+        let mut pending = self.0.pending.lock();
         while *pending > 0 {
-            pending = wait(&self.0.done, pending);
+            pending = locks::wait(&self.0.done, pending);
         }
     }
 }
@@ -273,7 +264,7 @@ pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
         let _completion = Completion(&scope.state);
         f(&scope)
     };
-    let payload = lock(&scope.state.panic).take();
+    let payload = scope.state.panic.lock().take();
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
@@ -285,7 +276,7 @@ pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
 /// Workers `set` into their own slot; after the scope joins, the owner
 /// `take`s the slots in input order — completion order never leaks into
 /// the assembled output.
-pub struct Slot<T>(Mutex<Option<T>>);
+pub struct Slot<T>(TrackedMutex<Option<T>>);
 
 impl<T> Default for Slot<T> {
     fn default() -> Self {
@@ -296,17 +287,17 @@ impl<T> Default for Slot<T> {
 impl<T> Slot<T> {
     /// Creates an empty slot.
     pub fn new() -> Self {
-        Slot(Mutex::new(None))
+        Slot(TrackedMutex::new("par.slot", None))
     }
 
     /// Stores a value, replacing any previous one.
     pub fn set(&self, value: T) {
-        *lock(&self.0) = Some(value);
+        *self.0.lock() = Some(value);
     }
 
     /// Removes and returns the stored value.
     pub fn take(&self) -> Option<T> {
-        lock(&self.0).take()
+        self.0.lock().take()
     }
 }
 

@@ -28,6 +28,7 @@ pub mod chunk;
 pub mod codec;
 pub mod discovery;
 pub mod labels;
+pub mod locks;
 pub mod registry;
 pub mod tsdb;
 

@@ -32,10 +32,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
-
 use crate::chunk::SeriesStore;
 use crate::labels::{LabelMatcher, LabelSet};
+use crate::locks::TrackedRwLock;
 
 /// One observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,12 +210,24 @@ impl TsdbStats {
 }
 
 /// One lock domain: a slice of the keyspace plus its write-path counter.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
-    series: RwLock<BTreeMap<SeriesKey, SeriesStore>>,
+    series: TrackedRwLock<BTreeMap<SeriesKey, SeriesStore>>,
     /// Samples currently stored in this shard, maintained on the write
     /// path so `num_samples` never walks the data.
     samples: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            // All shards share one sanitizer name; cycle detection runs
+            // on per-instance ids, so cross-shard nesting is still
+            // caught — the name only labels the report.
+            series: TrackedRwLock::new("telemetry.tsdb.shard.series", BTreeMap::new()),
+            samples: AtomicU64::new(0),
+        }
+    }
 }
 
 /// An in-memory TSDB safe for concurrent writers and readers.
@@ -271,7 +282,7 @@ impl TimeSeriesDb {
             ..config
         };
         TimeSeriesDb {
-            shards: (0..config.num_shards).map(|_| Shard::default()).collect(),
+            shards: (0..config.num_shards).map(|_| Shard::new()).collect(),
             config,
             inserts: AtomicU64::new(0),
             queries: AtomicU64::new(0),

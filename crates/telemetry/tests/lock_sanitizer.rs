@@ -1,0 +1,156 @@
+//! Runtime lock-order sanitizer tests (only built with the
+//! `lock-sanitizer` feature: `cargo test -p env2vec-telemetry
+//! --features lock-sanitizer`).
+//!
+//! Each test uses its own fresh lock instances, so the process-global
+//! order graph never couples one test to another.
+#![cfg(feature = "lock-sanitizer")]
+
+use std::sync::{Arc, Condvar};
+
+use env2vec_telemetry::locks::{self, TrackedMutex, TrackedRwLock};
+
+#[test]
+fn consistent_order_is_silent() {
+    let a = TrackedMutex::new("ok.a", 1u64);
+    let b = TrackedMutex::new("ok.b", 2u64);
+    for _ in 0..3 {
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+}
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn abba_nesting_panics_with_both_stacks() {
+    // The sanitizer needs each order *observed*, not an actual collision:
+    // one thread exercising a→b then b→a is a deliberate deadlock-in-
+    // waiting and must trip on the second nesting.
+    let a = TrackedMutex::new("abba.a", ());
+    let b = TrackedMutex::new("abba.b", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock(); // cycle: order b→a after a→b
+    }
+}
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn cross_thread_abba_panics() {
+    // The conflicting orders come from different threads; the graph is
+    // process-wide, so the second thread still trips.
+    let a = Arc::new(TrackedMutex::new("xthread.a", ()));
+    let b = Arc::new(TrackedMutex::new("xthread.b", ()));
+    {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+        .join()
+        .expect("first-order thread");
+    }
+    let _gb = b.lock();
+    let _ga = a.lock();
+}
+
+#[test]
+#[should_panic(expected = "reentrant")]
+fn reentrant_mutex_acquisition_panics() {
+    let m = TrackedMutex::new("reentrant.m", ());
+    let _g1 = m.lock();
+    let _g2 = m.lock(); // would self-deadlock without the sanitizer
+}
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn rwlock_participates_in_the_order_graph() {
+    let m = TrackedMutex::new("rw.m", ());
+    let r = TrackedRwLock::new("rw.r", ());
+    {
+        let _gm = m.lock();
+        let _gr = r.read();
+    }
+    {
+        let _gr = r.write();
+        let _gm = m.lock();
+    }
+}
+
+#[test]
+fn transitive_cycle_through_three_locks_panics() {
+    // a→b, b→c recorded; acquiring a while holding c closes the cycle
+    // through the transitive path, not a direct reverse edge.
+    let result = std::thread::Builder::new()
+        .name("transitive".to_string())
+        .spawn(|| {
+            let a = TrackedMutex::new("tri.a", ());
+            let b = TrackedMutex::new("tri.b", ());
+            let c = TrackedMutex::new("tri.c", ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            {
+                let _gb = b.lock();
+                let _gc = c.lock();
+            }
+            let _gc = c.lock();
+            let _ga = a.lock();
+        })
+        .expect("spawn")
+        .join();
+    let payload = result.expect_err("transitive cycle must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("lock-order cycle"),
+        "unexpected message: {msg}"
+    );
+    assert!(msg.contains("tri.a") && msg.contains("tri.c"), "{msg}");
+}
+
+#[test]
+fn condvar_wait_releases_the_held_id() {
+    // A consumer parked in wait() must not count as "holding" the mutex:
+    // the producer locking the same mutex plus another lock would
+    // otherwise record phantom edges. Exercises the take/re-register
+    // path in locks::wait end to end.
+    let pair = Arc::new((TrackedMutex::new("cv.m", false), Condvar::new()));
+    let waiter = {
+        let pair = Arc::clone(&pair);
+        std::thread::spawn(move || {
+            let (m, cv) = (&pair.0, &pair.1);
+            let mut ready = m.lock();
+            while !*ready {
+                ready = locks::wait(cv, ready);
+            }
+            true
+        })
+    };
+    // Give the waiter a moment to park, then flip the flag.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    {
+        let (m, cv) = (&pair.0, &pair.1);
+        *m.lock() = true;
+        cv.notify_all();
+    }
+    assert!(waiter.join().expect("waiter thread"));
+}
+
+#[test]
+fn guards_deref_to_the_protected_data() {
+    let m = TrackedMutex::new("deref.m", vec![1, 2]);
+    m.lock().push(3);
+    assert_eq!(*m.lock(), vec![1, 2, 3]);
+    let r = TrackedRwLock::new("deref.r", 10u32);
+    *r.write() += 5;
+    assert_eq!(*r.read(), 15);
+}

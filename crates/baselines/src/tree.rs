@@ -171,22 +171,46 @@ impl RegressionTree {
 
         let mut best: Option<(f64, usize, f64)> = None;
         let mut order = indices.to_vec();
+        let mut prev = Vec::with_capacity(order.len());
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(order.len());
         for &f in &features {
-            // `total_cmp` is a NaN-safe total order, so the comparator
-            // cannot fail even on pathological inputs.
-            order.sort_by(|&a, &b| x.get(a, f).total_cmp(&x.get(b, f)));
+            // Gather the feature column once as order-preserving integer
+            // keys tagged with their gather position, then sort with the
+            // allocation-free unstable sort: every `(key, position)` pair
+            // is distinct, so the position tiebreak makes the result the
+            // exact permutation a stable `total_cmp` sort of the keys
+            // produces — integer comparisons, no merge scratch. Writing
+            // it back through the pre-sort snapshot keeps the
+            // cross-feature tie order (and therefore every chosen split)
+            // bit-identical.
+            keyed.clear();
+            keyed.extend(
+                order
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &i)| (sort_key(x.get(i, f)), p as u32)),
+            );
+            keyed.sort_unstable();
+            prev.clear();
+            prev.extend_from_slice(&order);
+            for (o, &(_, p)) in order.iter_mut().zip(&keyed) {
+                *o = prev[p as usize];
+            }
             let mut left_sum = 0.0;
-            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
-                left_sum += y[i];
+            for (pos, &(kv, _)) in keyed.iter().enumerate().take(keyed.len() - 1) {
+                left_sum += y[order[pos]];
                 let nl = (pos + 1) as f64;
                 let nr = n - nl;
                 if (pos + 1) < config.min_samples_leaf
-                    || (order.len() - pos - 1) < config.min_samples_leaf
+                    || (keyed.len() - pos - 1) < config.min_samples_leaf
                 {
                     continue;
                 }
-                let v = x.get(i, f);
-                let v_next = x.get(order[pos + 1], f);
+                // Compare the recovered floats, not the keys: `-0.0` and
+                // `0.0` are distinct keys but equal values, and equal
+                // values cannot be split between.
+                let v = key_value(kv);
+                let v_next = key_value(keyed[pos + 1].0);
                 if v == v_next {
                     // Cannot split between equal values.
                     continue;
@@ -261,6 +285,22 @@ impl RegressionTree {
         }
         depth_of(&self.nodes, 0)
     }
+}
+
+/// Order-preserving map from `f64` to `u64`: `a.total_cmp(&b)` agrees
+/// with `sort_key(a).cmp(&sort_key(b))` for every input, NaNs included,
+/// and the map is bijective — [`key_value`] inverts it exactly.
+#[inline]
+fn sort_key(x: f64) -> u64 {
+    let b = x.to_bits() as i64;
+    ((b ^ (((b >> 63) as u64) >> 1) as i64) as u64) ^ (1 << 63)
+}
+
+/// Exact inverse of [`sort_key`].
+#[inline]
+fn key_value(k: u64) -> f64 {
+    let b = (k ^ (1 << 63)) as i64;
+    f64::from_bits((b ^ (((b >> 63) as u64) >> 1) as i64) as u64)
 }
 
 #[cfg(test)]

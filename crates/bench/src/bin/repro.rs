@@ -67,8 +67,8 @@ fn usage() -> &'static str {
      \x20            [--trace-out FILE] [--bench-json FILE] [--metrics-out FILE]\n\
      \x20            [--profile-ops DIR] [--bench-history DIR] [--bench-gate] <experiment>...\n\
      experiments: fig1 table3 table4 (alias: kdn) fig3 fig4 table5 table6 table7 fig6 timing\n\
-     \x20            ablation finetune | all; plus `tsdb` (storage-engine workload) and\n\
-     \x20            `report` (introspection report)"
+     \x20            ablation finetune | all; plus `tsdb` (storage-engine workload),\n\
+     \x20            `gemm` (matrix-multiply microbenchmark) and `report` (introspection report)"
 }
 
 /// Per-experiment outcome for the timing table and `--bench-json`.
@@ -97,6 +97,7 @@ fn bench_json(
     timings: &[ExperimentTiming],
     accuracy: &[(&'static str, f64)],
     tsdb: Option<&env2vec_bench::tsdb_ops::TsdbOpsSummary>,
+    gemm: Option<&env2vec_bench::gemm_ops::GemmOpsSummary>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -127,6 +128,9 @@ fn bench_json(
     out.push_str("  ],\n");
     if let Some(summary) = tsdb {
         out.push_str(&format!("  \"tsdb\": {},\n", summary.json_object()));
+    }
+    if let Some(summary) = gemm {
+        out.push_str(&format!("  \"gemm\": {},\n", summary.json_object()));
     }
     out.push_str("  \"clean_mae\": {\n");
     for (i, (name, mae)) in accuracy.iter().enumerate() {
@@ -228,6 +232,7 @@ fn main() -> ExitCode {
             "--bench-gate" => bench_gate = true,
             "kdn" => chosen.push("table4".to_string()),
             "tsdb" => chosen.push("tsdb".to_string()),
+            "gemm" => chosen.push("gemm".to_string()),
             "report" => want_report = true,
             "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
             "-h" | "--help" => {
@@ -321,6 +326,7 @@ fn main() -> ExitCode {
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     let mut tsdb_summary: Option<env2vec_bench::tsdb_ops::TsdbOpsSummary> = None;
+    let mut gemm_summary: Option<env2vec_bench::gemm_ops::GemmOpsSummary> = None;
     for name in &chosen {
         let t0 = Instant::now();
         let result = {
@@ -342,6 +348,12 @@ fn main() -> ExitCode {
                 "tsdb" => {
                     env2vec_bench::tsdb_ops::run_with_summary(&opts).map(|(text, summary)| {
                         tsdb_summary = Some(summary);
+                        text
+                    })
+                }
+                "gemm" => {
+                    env2vec_bench::gemm_ops::run_with_summary(&opts).map(|(text, summary)| {
+                        gemm_summary = Some(summary);
                         text
                     })
                 }
@@ -511,6 +523,7 @@ fn main() -> ExitCode {
             &timings,
             &accuracy,
             tsdb_summary.as_ref(),
+            gemm_summary.as_ref(),
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write bench json to {path}: {e}");

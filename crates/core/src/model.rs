@@ -398,8 +398,7 @@ impl Env2VecModel {
         let pred = self.forward(&mut graph, &bound, batch, None)?;
         Ok(graph
             .value(pred)
-            .col(0)
-            .into_iter()
+            .col_iter(0)
             .map(|v| self.y_scaler.unscale(v))
             .collect())
     }
@@ -566,8 +565,7 @@ impl RfnnModel {
         let pred = self.forward(&mut graph, &bound, batch, None)?;
         Ok(graph
             .value(pred)
-            .col(0)
-            .into_iter()
+            .col_iter(0)
             .map(|v| self.y_scaler.unscale(v))
             .collect())
     }

@@ -258,10 +258,10 @@ fn scaled_val_mse<M: Trainable>(model: &M, val: &Dataframe) -> Result<f64> {
     let mut graph = Graph::new();
     let bound = model.params().bind(&mut graph);
     let pred = model.forward_graph(&mut graph, &bound, val, None)?;
-    let pred = graph.value(pred).col(0);
-    let n = pred.len() as f64;
-    Ok(pred
-        .iter()
+    let value = graph.value(pred);
+    let n = value.rows() as f64;
+    Ok(value
+        .col_iter(0)
         .zip(&val.target)
         .map(|(p, &y)| {
             let t = model.scale_target(y);
@@ -294,6 +294,11 @@ fn fit<M: Trainable>(
     let mut prev_val_loss = f64::NAN;
     let mut best_val_loss = f64::INFINITY;
 
+    // One graph for the whole fit: `reset` recycles every node's
+    // value/gradient storage through the tape's scratch arena, so
+    // steady-state steps run allocation-free where the per-batch
+    // `Graph::new` used to rebuild everything from the allocator.
+    let mut graph = Graph::new();
     for epoch in 0..config.max_epochs {
         let epoch_start_params = wants_stats.then(|| model.params().clone());
         let mut last_grad_norm = 0.0;
@@ -306,7 +311,7 @@ fn fit<M: Trainable>(
                 .iter()
                 .map(|&y| model.scale_target(y))
                 .collect();
-            let mut graph = Graph::new();
+            graph.reset();
             let bound = model.params().bind(&mut graph);
             let pred = model.forward_graph(&mut graph, &bound, &batch, Some(&mut dropout_rng))?;
             let target = graph.leaf(Matrix::col_vector(&scaled_targets));

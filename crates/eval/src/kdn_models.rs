@@ -163,11 +163,14 @@ impl FnnBaseline {
         let mut opt = Adam::new(5e-3);
         let mut stopper = EarlyStopping::new(6, 1e-6);
         let mut drop_rng = StdRng::seed_from_u64(seed ^ 0xaa);
+        // One graph across all steps; `reset` recycles node storage
+        // through the tape's scratch arena instead of reallocating.
+        let mut g = Graph::new();
         for epoch in 0..max_epochs {
             for batch in shuffled_batches(x.rows(), 64, seed + epoch as u64) {
                 let bx = x.select_rows(&batch)?;
                 let by: Vec<f64> = batch.iter().map(|&i| (y[i] - y_mean) / y_std).collect();
-                let mut g = Graph::new();
+                g.reset();
                 let bound = model.params.bind(&mut g);
                 let inp = g.leaf(model.scale(&bx));
                 let mut h = model.hidden.forward(&mut g, &bound, inp)?;
@@ -205,8 +208,7 @@ impl FnnBaseline {
         let h = self.hidden.forward(&mut g, &bound, inp)?;
         let o = self.head.forward(&mut g, &bound, h)?;
         Ok(g.value(o)
-            .col(0)
-            .into_iter()
+            .col_iter(0)
             .map(|v| v * self.y_std + self.y_mean)
             .collect())
     }

@@ -107,8 +107,10 @@ impl Cholesky {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut col = Vec::with_capacity(n);
         for j in 0..b.cols() {
-            let col = b.col(j);
+            col.clear();
+            col.extend(b.col_iter(j));
             let x = self.solve(&col)?;
             for (i, v) in x.into_iter().enumerate() {
                 out.set(i, j, v);

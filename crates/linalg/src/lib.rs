@@ -28,6 +28,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+mod gemm;
 pub mod matrix;
 pub mod pca;
 pub mod stats;

@@ -2,34 +2,27 @@
 //!
 //! [`Matrix`] is the workhorse value type of the workspace: the autodiff
 //! engine stores activations and gradients in it, the ridge baseline builds
-//! normal equations with it, and PCA projects through it. The implementation
-//! favours clarity and cache-friendly loop orders (`ikj` matmul) over SIMD
-//! tricks; at the model sizes of the paper (hidden layers of at most 1024
-//! units) this is more than fast enough.
+//! normal equations with it, and PCA projects through it. Matrix products
+//! route through the packed, register-blocked kernels in [`crate::gemm`]
+//! (with a naive fallback for tiny shapes); both paths produce
+//! bit-identical results at every thread count.
 
 // Indexed loops mirror the textbook formulations of these numeric
 // kernels; iterator rewrites would obscure them.
 #![allow(clippy::needless_range_loop)]
 
-use std::sync::OnceLock;
-
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
+use crate::gemm;
 
-/// Minimum `rows * cols * rhs.cols` before `matmul` fans row blocks out
-/// to the worker pool. Below this the spawn/join overhead (~µs per
-/// scope) is comparable to the multiply itself. Per-output-row work is
-/// identical in both paths, so the gate affects wall-clock only, never
-/// bits.
-const MATMUL_PAR_FLOPS: usize = 1 << 17;
-
-/// Rows per `matmul` job: big enough to amortise queue traffic, small
-/// enough to balance load across workers on paper-sized matrices.
-const MATMUL_ROW_BLOCK: usize = 16;
+/// Tile edge of the blocked [`Matrix::transpose`]: 32×32 doubles is 8 KiB,
+/// small enough for both the source rows and destination columns of a
+/// tile to stay L1-resident.
+const TRANSPOSE_BLOCK: usize = 32;
 
 /// Minimum `rows * cols` before `matvec` parallelises, mirroring
-/// [`MATMUL_PAR_FLOPS`].
+/// [`gemm::PAR_MIN_ELEMS`].
 const MATVEC_PAR_ELEMS: usize = 1 << 17;
 
 /// Rows per `matvec` job (each row is a single dot product).
@@ -46,43 +39,6 @@ const COL_STATS_PAR_ROWS: usize = 8192;
 /// [`env2vec_par::chunk_ranges`] and the fold runs in ascending chunk
 /// order, so the reassociation is deterministic.
 const COL_STATS_CHUNK: usize = 2048;
-
-/// Per-row finiteness of `rhs`, computed at most once per `matmul` call
-/// and only when a bitwise zero is first encountered on the left.
-///
-/// The sparsity skip in [`mul_row_into`] is exact only for finite rhs
-/// rows: IEEE-754 defines `0.0 * NaN = NaN` and `0.0 * inf = NaN`, so
-/// skipping a zero against a non-finite row would silently launder the
-/// very divergence the `numeric-sanitizer` feature exists to surface.
-fn rhs_row_is_finite(rhs: &Matrix, cache: &OnceLock<Vec<bool>>, k: usize) -> bool {
-    cache.get_or_init(|| {
-        (0..rhs.rows)
-            .map(|r| rhs.row(r).iter().all(|x| x.is_finite()))
-            .collect()
-    })[k]
-}
-
-/// Accumulates `a_row * rhs` into `out_row` (one output row of a
-/// matmul). Shared verbatim by the sequential and parallel paths so the
-/// per-row result is bit-identical regardless of scheduling.
-fn mul_row_into(
-    a_row: &[f64],
-    rhs: &Matrix,
-    out_row: &mut [f64],
-    rhs_row_finite: &OnceLock<Vec<bool>>,
-) {
-    for (k, &a) in a_row.iter().enumerate() {
-        // envlint: allow(float-cmp) — exact sparsity skip: only a bitwise
-        // zero contributes nothing, and only against a finite rhs row.
-        if a == 0.0 && rhs_row_is_finite(rhs, rhs_row_finite, k) {
-            continue;
-        }
-        let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-            *o += a * b;
-        }
-    }
-}
 
 /// A dense matrix of `f64` stored in row-major order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,14 +91,30 @@ impl Matrix {
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for every element.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+    pub fn from_fn(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f64) -> Self {
+        Matrix::from_fn_with(rows, cols, Vec::new(), f)
+    }
+
+    /// [`Matrix::from_fn`] writing into `storage` (cleared and refilled),
+    /// so callers with a buffer pool can avoid the allocation.
+    pub fn from_fn_with(
+        rows: usize,
+        cols: usize,
+        mut storage: Vec<f64>,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
+        storage.clear();
+        storage.reserve(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
-                data.push(f(i, j));
+                storage.push(f(i, j));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: storage,
+        }
     }
 
     /// Creates a single-row matrix from a slice.
@@ -229,6 +201,18 @@ impl Matrix {
         self.data
     }
 
+    /// Clone of `self` written into `storage` (cleared and refilled), so
+    /// callers with a buffer pool can avoid the copy's allocation.
+    pub fn clone_with(&self, mut storage: Vec<f64>) -> Matrix {
+        storage.clear();
+        storage.extend_from_slice(&self.data);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: storage,
+        }
+    }
+
     /// Element at `(i, j)`.
     ///
     /// # Panics
@@ -273,36 +257,64 @@ impl Matrix {
 
     /// Copy of column `j`.
     ///
+    /// Allocates a fresh vector; hot loops that only need to *read* a
+    /// column should use [`Matrix::col_iter`] instead.
+    ///
     /// # Panics
     ///
     /// Panics when `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows)
-            .map(|i| self.data[i * self.cols + j])
-            .collect()
+        self.col_iter(j).collect()
     }
 
-    /// The transpose.
+    /// Allocation-free strided iterator over column `j`, top to bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= cols`.
+    pub fn col_iter(&self, j: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
+        assert!(j < self.cols, "column index out of bounds");
+        self.data[j..].iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// The transpose, copied tile-by-tile ([`TRANSPOSE_BLOCK`]² blocks)
+    /// so both the source and the destination of each tile stay
+    /// cache-resident instead of one side streaming with a full-row
+    /// stride.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        let (r, c) = (self.rows, self.cols);
+        for i0 in (0..r).step_by(TRANSPOSE_BLOCK) {
+            let i1 = (i0 + TRANSPOSE_BLOCK).min(r);
+            for j0 in (0..c).step_by(TRANSPOSE_BLOCK) {
+                let j1 = (j0 + TRANSPOSE_BLOCK).min(c);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        out.data[j * r + i] = self.data[i * c + j];
+                    }
+                }
             }
         }
         out
     }
 
-    /// Matrix product `self * rhs` using a cache-friendly `ikj` loop order.
+    /// Matrix product `self * rhs` through the packed, register-blocked
+    /// kernels of [`crate::gemm`] (naive `ikj` fallback for tiny
+    /// shapes).
     ///
-    /// Large products (see [`MATMUL_PAR_FLOPS`]) are computed as parallel
-    /// row blocks; every output row is produced by the exact same
-    /// accumulation order either way, so the result is bit-identical for
-    /// any thread count.
+    /// Large products fan out over parallel row blocks; every output
+    /// element is produced by the exact same ascending-`k` accumulation
+    /// chain on every path, so the result is bit-identical for any
+    /// thread count and for either kernel.
     ///
     /// Returns an error when the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with(rhs, Vec::new())
+    }
+
+    /// [`Matrix::matmul`] writing into `storage` (cleared and resized),
+    /// so callers with a buffer pool can avoid the output allocation.
+    pub fn matmul_with(&self, rhs: &Matrix, storage: Vec<f64>) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::ShapeMismatch {
                 op: "matmul",
@@ -310,31 +322,90 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let rhs_row_finite = OnceLock::new();
-        let flops = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
-        if flops >= MATMUL_PAR_FLOPS && env2vec_par::max_threads() > 1 {
-            let block_elems = MATMUL_ROW_BLOCK * rhs.cols;
-            env2vec_par::scope(|s| {
-                for (bi, out_block) in out.data.chunks_mut(block_elems).enumerate() {
-                    let rhs_row_finite = &rhs_row_finite;
-                    s.spawn(move || {
-                        for (r, out_row) in out_block.chunks_mut(rhs.cols).enumerate() {
-                            let i = bi * MATMUL_ROW_BLOCK + r;
-                            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                            mul_row_into(a_row, rhs, out_row, rhs_row_finite);
-                        }
-                    });
-                }
-            });
-        } else {
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                mul_row_into(a_row, rhs, out_row, &rhs_row_finite);
-            }
-        }
+        let mut out = Self::zeros_with(self.rows, rhs.cols, storage);
+        gemm::gemm_nn(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
         Ok(out)
+    }
+
+    /// Matrix product `self * rhsᵀ` without materialising the transpose;
+    /// bit-identical to `self.matmul(&rhs.transpose())`.
+    ///
+    /// Returns an error when `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_nt_with(rhs, Vec::new())
+    }
+
+    /// [`Matrix::matmul_nt`] writing into `storage` (cleared and
+    /// resized).
+    pub fn matmul_nt_with(&self, rhs: &Matrix, storage: Vec<f64>) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(Error::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros_with(self.rows, rhs.rows, storage);
+        gemm::gemm_nt(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.rows,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// Matrix product `selfᵀ * rhs` without materialising the transpose;
+    /// bit-identical to `self.transpose().matmul(&rhs)`.
+    ///
+    /// Returns an error when `self.rows != rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_tn_with(rhs, Vec::new())
+    }
+
+    /// [`Matrix::matmul_tn`] writing into `storage` (cleared and
+    /// resized).
+    pub fn matmul_tn_with(&self, rhs: &Matrix, storage: Vec<f64>) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Self::zeros_with(self.cols, rhs.cols, storage);
+        gemm::gemm_tn(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// Builds a zeroed `rows×cols` matrix on top of `storage`, reusing
+    /// its heap allocation when the capacity suffices.
+    /// All-zero matrix written into `storage` (cleared and resized), the
+    /// buffer-pooling counterpart of [`Matrix::zeros`].
+    pub fn zeros_with(rows: usize, cols: usize, mut storage: Vec<f64>) -> Matrix {
+        storage.clear();
+        storage.resize(rows * cols, 0.0);
+        Matrix {
+            rows,
+            cols,
+            data: storage,
+        }
     }
 
     /// Matrix-vector product `self * v`.
@@ -375,6 +446,11 @@ impl Matrix {
         self.zip_with(rhs, "add", |a, b| a + b)
     }
 
+    /// [`Matrix::add`] writing into `storage` (cleared and refilled).
+    pub fn add_with(&self, rhs: &Matrix, storage: Vec<f64>) -> Result<Matrix> {
+        self.zip_with_storage(rhs, "add", storage, |a, b| a + b)
+    }
+
     /// Element-wise difference `self - rhs`.
     ///
     /// Returns an error on shape mismatch.
@@ -382,11 +458,45 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
+    /// [`Matrix::sub`] writing into `storage` (cleared and refilled).
+    pub fn sub_with(&self, rhs: &Matrix, storage: Vec<f64>) -> Result<Matrix> {
+        self.zip_with_storage(rhs, "sub", storage, |a, b| a - b)
+    }
+
     /// Element-wise (Hadamard) product `self ⊙ rhs`.
     ///
     /// Returns an error on shape mismatch.
     pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
         self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// [`Matrix::hadamard`] writing into `storage` (cleared and
+    /// refilled).
+    pub fn hadamard_with(&self, rhs: &Matrix, storage: Vec<f64>) -> Result<Matrix> {
+        self.zip_with_storage(rhs, "hadamard", storage, |a, b| a * b)
+    }
+
+    fn zip_with_storage(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        mut storage: Vec<f64>,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        storage.clear();
+        storage.extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)));
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: storage,
+        })
     }
 
     fn zip_with(
@@ -442,12 +552,28 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::scale`] writing into `storage` (cleared and refilled).
+    pub fn scale_with(&self, alpha: f64, storage: Vec<f64>) -> Matrix {
+        self.map_with(storage, |x| alpha * x)
+    }
+
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// [`Matrix::map`] writing into `storage` (cleared and refilled).
+    pub fn map_with(&self, mut storage: Vec<f64>, f: impl Fn(f64) -> f64) -> Matrix {
+        storage.clear();
+        storage.extend(self.data.iter().map(|&x| f(x)));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: storage,
         }
     }
 
@@ -482,7 +608,16 @@ impl Matrix {
     ///
     /// Returns an error when any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        self.select_rows_with(indices, Vec::new())
+    }
+
+    /// [`Matrix::select_rows`] writing into `storage` (cleared and
+    /// refilled), so callers with a buffer pool can avoid the allocation.
+    ///
+    /// Returns an error when any index is out of bounds.
+    pub fn select_rows_with(&self, indices: &[usize], mut storage: Vec<f64>) -> Result<Matrix> {
+        storage.clear();
+        storage.reserve(indices.len() * self.cols);
         for &i in indices {
             if i >= self.rows {
                 return Err(Error::IndexOutOfBounds {
@@ -490,12 +625,12 @@ impl Matrix {
                     len: self.rows,
                 });
             }
-            data.extend_from_slice(self.row(i));
+            storage.extend_from_slice(self.row(i));
         }
         Ok(Matrix {
             rows: indices.len(),
             cols: self.cols,
-            data,
+            data: storage,
         })
     }
 

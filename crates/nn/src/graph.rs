@@ -110,12 +110,57 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Scratch arena: spent value/gradient buffers harvested by
+    /// [`Graph::reset`], handed back out to ops that build fresh
+    /// matrices. After the first step of a training loop that reuses its
+    /// graph, forward MatMuls, backward MatMuls and gradient clones all
+    /// draw from here instead of the allocator (`--profile-ops` alloc
+    /// counters measure exactly this).
+    arena: Vec<Vec<f64>>,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
+    }
+
+    /// Clears the tape for the next step while keeping every node's
+    /// value and gradient storage in the scratch arena, so a training
+    /// loop that holds one `Graph` across steps stops allocating once
+    /// warm.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            let buf = node.value.into_vec();
+            if buf.capacity() > 0 {
+                self.arena.push(buf);
+            }
+            if let Some(grad) = node.grad {
+                let buf = grad.into_vec();
+                if buf.capacity() > 0 {
+                    self.arena.push(buf);
+                }
+            }
+        }
+        // Backstop: a steady-state step takes roughly as many buffers as
+        // reset harvests, but an unusually large step (e.g. a one-off
+        // validation pass) must not leave its high-water mark pinned in
+        // the pool forever.
+        const ARENA_CAP: usize = 1024;
+        self.arena.truncate(ARENA_CAP);
+    }
+
+    /// Pops a spent buffer from the scratch arena (empty when the arena
+    /// is cold; the `*_with` constructors resize as needed).
+    fn take_buf(&mut self) -> Vec<f64> {
+        self.arena.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent buffer to the scratch arena.
+    fn give_buf(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.arena.push(buf);
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -200,19 +245,20 @@ impl Graph {
         let n = out_grad.len() as u64;
         let (flops, allocs) = match op {
             Op::Leaf => (0, 0),
-            // dA = dY·Bᵀ and dB = Aᵀ·dY plus the two transposes.
+            // dA = dY·Bᵀ (2·m·n·k) and dB = Aᵀ·dY (2·k·m·n) through the
+            // transposed GEMM entry points: `4·|dY|·k` flops total and
+            // two output buffers — no transposed copies.
             Op::MatMul(_, b) => {
                 let k = self.nodes[b.0].value.rows() as u64;
-                (4 * n * k, 4)
+                (4 * n * k, 2)
             }
             Op::Add(..) | Op::Sub(..) => (n, 2),
             Op::AddRowBroadcast(..) | Op::Mul(..) => (2 * n, 2),
             Op::Scale(..) | Op::AddScalar(..) => (n, 1),
-            Op::Sigmoid(..)
-            | Op::Tanh(..)
-            | Op::Relu(..)
-            | Op::Square(..)
-            | Op::DropoutMask { .. } => (2 * n, 2),
+            // Local derivative from the cached activation (2 flops per
+            // element) plus the Hadamard with the output gradient.
+            Op::Sigmoid(..) | Op::Tanh(..) => (3 * n, 2),
+            Op::Relu(..) | Op::Square(..) | Op::DropoutMask { .. } => (2 * n, 2),
             Op::ConcatCols(parts) => (0, parts.len() as u64),
             Op::GatherRows { .. } | Op::SliceCols { .. } => (n, 1),
             Op::RowSums(a) | Op::MeanAll(a) => (self.nodes[a.0].value.len() as u64, 1),
@@ -229,6 +275,15 @@ impl Graph {
     pub fn leaf(&mut self, value: Matrix) -> NodeId {
         let timer = OpTimer::start();
         self.push(value, Op::Leaf, timer)
+    }
+
+    /// Adds a leaf node holding a copy of `value`, drawing the copy's
+    /// storage from the scratch arena (the zero-allocation counterpart
+    /// of `leaf(value.clone())` for graphs reused via [`Graph::reset`]).
+    pub fn leaf_from(&mut self, value: &Matrix) -> NodeId {
+        let timer = OpTimer::start();
+        let buf = self.take_buf();
+        self.push(value.clone_with(buf), Op::Leaf, timer)
     }
 
     /// Forward value of a node.
@@ -255,7 +310,10 @@ impl Graph {
     /// Returns an error on inner-dimension mismatch.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value)?;
+        let buf = self.take_buf();
+        let v = self.nodes[a.0]
+            .value
+            .matmul_with(&self.nodes[b.0].value, buf)?;
         Ok(self.push(v, Op::MatMul(a, b), timer))
     }
 
@@ -264,7 +322,10 @@ impl Graph {
     /// Returns an error on shape mismatch.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value)?;
+        let buf = self.take_buf();
+        let v = self.nodes[a.0]
+            .value
+            .add_with(&self.nodes[b.0].value, buf)?;
         Ok(self.push(v, Op::Add(a, b), timer))
     }
 
@@ -282,7 +343,10 @@ impl Graph {
                 rhs: bv.shape(),
             });
         }
-        let mut v = av.clone();
+        let buf = self.take_buf();
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[bias.0].value;
+        let mut v = av.clone_with(buf);
         for i in 0..v.rows() {
             for (x, &b) in v.row_mut(i).iter_mut().zip(bv.row(0)) {
                 *x += b;
@@ -296,7 +360,10 @@ impl Graph {
     /// Returns an error on shape mismatch.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value)?;
+        let buf = self.take_buf();
+        let v = self.nodes[a.0]
+            .value
+            .sub_with(&self.nodes[b.0].value, buf)?;
         Ok(self.push(v, Op::Sub(a, b), timer))
     }
 
@@ -305,21 +372,26 @@ impl Graph {
     /// Returns an error on shape mismatch.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value)?;
+        let buf = self.take_buf();
+        let v = self.nodes[a.0]
+            .value
+            .hadamard_with(&self.nodes[b.0].value, buf)?;
         Ok(self.push(v, Op::Mul(a, b), timer))
     }
 
     /// Scalar multiple node.
     pub fn scale(&mut self, a: NodeId, alpha: f64) -> NodeId {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.scale(alpha);
+        let buf = self.take_buf();
+        let v = self.nodes[a.0].value.scale_with(alpha, buf);
         self.push(v, Op::Scale(a, alpha), timer)
     }
 
     /// Element-wise `a + alpha` node.
     pub fn add_scalar(&mut self, a: NodeId, alpha: f64) -> NodeId {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.map(|x| x + alpha);
+        let buf = self.take_buf();
+        let v = self.nodes[a.0].value.map_with(buf, |x| x + alpha);
         self.push(v, Op::AddScalar(a), timer)
     }
 
@@ -332,28 +404,34 @@ impl Graph {
     /// Logistic-sigmoid node.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let buf = self.take_buf();
+        let v = self.nodes[a.0]
+            .value
+            .map_with(buf, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(v, Op::Sigmoid(a), timer)
     }
 
     /// Hyperbolic-tangent node.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.map(f64::tanh);
+        let buf = self.take_buf();
+        let v = self.nodes[a.0].value.map_with(buf, f64::tanh);
         self.push(v, Op::Tanh(a), timer)
     }
 
     /// ReLU node.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let buf = self.take_buf();
+        let v = self.nodes[a.0].value.map_with(buf, |x| x.max(0.0));
         self.push(v, Op::Relu(a), timer)
     }
 
     /// Element-wise square node.
     pub fn square(&mut self, a: NodeId) -> NodeId {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.map(|x| x * x);
+        let buf = self.take_buf();
+        let v = self.nodes[a.0].value.map_with(buf, |x| x * x);
         self.push(v, Op::Square(a), timer)
     }
 
@@ -367,10 +445,30 @@ impl Graph {
                 routine: "concat_cols",
             });
         }
-        let mut v = self.nodes[parts[0].0].value.clone();
-        for &p in &parts[1..] {
-            v = v.hstack(&self.nodes[p.0].value)?;
+        let rows = self.nodes[parts[0].0].value.rows();
+        let mut cols = 0;
+        for &p in parts {
+            let pv = &self.nodes[p.0].value;
+            if pv.rows() != rows {
+                return Err(Error::ShapeMismatch {
+                    op: "concat_cols",
+                    lhs: (rows, cols),
+                    rhs: pv.shape(),
+                });
+            }
+            cols += pv.cols();
         }
+        // Single gather into one arena buffer instead of the old
+        // clone-then-repeated-hstack cascade (quadratic allocation).
+        let mut buf = self.take_buf();
+        buf.clear();
+        buf.reserve(rows * cols);
+        for r in 0..rows {
+            for &p in parts {
+                buf.extend_from_slice(self.nodes[p.0].value.row(r));
+            }
+        }
+        let v = Matrix::from_vec(rows, cols, buf)?;
         Ok(self.push(v, Op::ConcatCols(parts.to_vec()), timer))
     }
 
@@ -379,7 +477,8 @@ impl Graph {
     /// Returns an error when an index is out of range.
     pub fn gather_rows(&mut self, table: NodeId, indices: &[usize]) -> Result<NodeId> {
         let timer = OpTimer::start();
-        let v = self.nodes[table.0].value.select_rows(indices)?;
+        let buf = self.take_buf();
+        let v = self.nodes[table.0].value.select_rows_with(indices, buf)?;
         Ok(self.push(
             v,
             Op::GatherRows {
@@ -394,8 +493,9 @@ impl Graph {
     /// reduction of the paper's Equation 2.
     pub fn row_sums(&mut self, a: NodeId) -> NodeId {
         let timer = OpTimer::start();
+        let buf = self.take_buf();
         let av = &self.nodes[a.0].value;
-        let v = Matrix::from_fn(av.rows(), 1, |i, _| av.row(i).iter().sum());
+        let v = Matrix::from_fn_with(av.rows(), 1, buf, |i, _| av.row(i).iter().sum());
         self.push(v, Op::RowSums(a), timer)
     }
 
@@ -422,7 +522,8 @@ impl Graph {
     /// recorded at all.
     pub fn dropout(&mut self, a: NodeId, mask: Matrix) -> Result<NodeId> {
         let timer = OpTimer::start();
-        let v = self.nodes[a.0].value.hadamard(&mask)?;
+        let buf = self.take_buf();
+        let v = self.nodes[a.0].value.hadamard_with(&mask, buf)?;
         Ok(self.push(v, Op::DropoutMask { input: a, mask }, timer))
     }
 
@@ -437,7 +538,9 @@ impl Graph {
                 what: "slice_cols out of range or empty",
             });
         }
-        let v = Matrix::from_fn(av.rows(), len, |i, j| av.get(i, start + j));
+        let buf = self.take_buf();
+        let av = &self.nodes[a.0].value;
+        let v = Matrix::from_fn_with(av.rows(), len, buf, |i, j| av.get(i, start + j));
         Ok(self.push(
             v,
             Op::SliceCols {
@@ -453,8 +556,9 @@ impl Graph {
     /// distribution. Numerically stabilised by subtracting the row max.
     pub fn row_softmax(&mut self, a: NodeId) -> NodeId {
         let timer = OpTimer::start();
+        let buf = self.take_buf();
         let av = &self.nodes[a.0].value;
-        let mut v = av.clone();
+        let mut v = av.clone_with(buf);
         for i in 0..v.rows() {
             let row = v.row_mut(i);
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -489,13 +593,18 @@ impl Graph {
                 what: "backward requires a 1x1 scalar loss node",
             });
         }
-        for node in &mut self.nodes {
-            node.grad = None;
+        for i in 0..self.nodes.len() {
+            if let Some(g) = self.nodes[i].grad.take() {
+                self.give_buf(g.into_vec());
+            }
         }
         self.nodes[loss.0].grad = Some(Matrix::filled(1, 1, 1.0));
 
         for i in (0..=loss.0).rev() {
-            let Some(out_grad) = self.nodes[i].grad.clone() else {
+            // Take the gradient out of the tape for the duration of this
+            // node's step (restored below) — ops only read it, so no
+            // per-node clone is needed.
+            let Some(out_grad) = self.nodes[i].grad.take() else {
                 continue;
             };
             // Clone the op descriptor to release the borrow on self.nodes.
@@ -509,79 +618,113 @@ impl Graph {
             match op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let bt = self.nodes[b.0].value.transpose();
-                    let at = self.nodes[a.0].value.transpose();
-                    let da = out_grad.matmul(&bt)?;
-                    let db = at.matmul(&out_grad)?;
+                    // dA = dY·Bᵀ and dB = Aᵀ·dY via the transposed GEMM
+                    // entry points: no transposed copy of A or B is ever
+                    // materialised, and the results are bit-identical to
+                    // the transpose-then-matmul formulation.
+                    let buf = self.take_buf();
+                    let da = out_grad.matmul_nt_with(&self.nodes[b.0].value, buf)?;
+                    let buf = self.take_buf();
+                    let db = self.nodes[a.0].value.matmul_tn_with(&out_grad, buf)?;
                     self.accumulate(a, da)?;
                     self.accumulate(b, db)?;
                 }
                 Op::Add(a, b) => {
-                    self.accumulate(a, out_grad.clone())?;
-                    self.accumulate(b, out_grad)?;
+                    let g = self.pooled_clone(&out_grad);
+                    self.accumulate(a, g)?;
+                    let g = self.pooled_clone(&out_grad);
+                    self.accumulate(b, g)?;
                 }
                 Op::AddRowBroadcast(a, bias) => {
                     // Bias gradient is the column-sum of the output grad.
                     let cols = out_grad.cols();
-                    let mut bias_grad = Matrix::zeros(1, cols);
+                    let buf = self.take_buf();
+                    let mut bias_grad = Matrix::zeros_with(1, cols, buf);
                     for r in 0..out_grad.rows() {
                         for (bg, &g) in bias_grad.row_mut(0).iter_mut().zip(out_grad.row(r)) {
                             *bg += g;
                         }
                     }
-                    self.accumulate(a, out_grad)?;
+                    let g = self.pooled_clone(&out_grad);
+                    self.accumulate(a, g)?;
                     self.accumulate(bias, bias_grad)?;
                 }
                 Op::Sub(a, b) => {
-                    self.accumulate(a, out_grad.clone())?;
-                    self.accumulate(b, out_grad.scale(-1.0))?;
+                    let g = self.pooled_clone(&out_grad);
+                    self.accumulate(a, g)?;
+                    let buf = self.take_buf();
+                    let g = out_grad.scale_with(-1.0, buf);
+                    self.accumulate(b, g)?;
                 }
                 Op::Mul(a, b) => {
-                    let da = out_grad.hadamard(&self.nodes[b.0].value)?;
-                    let db = out_grad.hadamard(&self.nodes[a.0].value)?;
+                    let buf = self.take_buf();
+                    let da = out_grad.hadamard_with(&self.nodes[b.0].value, buf)?;
+                    let buf = self.take_buf();
+                    let db = out_grad.hadamard_with(&self.nodes[a.0].value, buf)?;
                     self.accumulate(a, da)?;
                     self.accumulate(b, db)?;
                 }
                 Op::Scale(a, alpha) => {
-                    self.accumulate(a, out_grad.scale(alpha))?;
+                    let buf = self.take_buf();
+                    let g = out_grad.scale_with(alpha, buf);
+                    self.accumulate(a, g)?;
                 }
                 Op::AddScalar(a) => {
-                    self.accumulate(a, out_grad)?;
+                    let g = self.pooled_clone(&out_grad);
+                    self.accumulate(a, g)?;
                 }
                 Op::Sigmoid(a) => {
                     // dσ = σ (1 - σ), where σ is this node's forward value.
-                    let s = &self.nodes[i].value;
-                    let local = s.map(|x| x * (1.0 - x));
-                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                    let buf = self.take_buf();
+                    let local = self.nodes[i].value.map_with(buf, |x| x * (1.0 - x));
+                    let buf = self.take_buf();
+                    let g = out_grad.hadamard_with(&local, buf)?;
+                    self.give_buf(local.into_vec());
+                    self.accumulate(a, g)?;
                 }
                 Op::Tanh(a) => {
-                    let t = &self.nodes[i].value;
-                    let local = t.map(|x| 1.0 - x * x);
-                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                    let buf = self.take_buf();
+                    let local = self.nodes[i].value.map_with(buf, |x| 1.0 - x * x);
+                    let buf = self.take_buf();
+                    let g = out_grad.hadamard_with(&local, buf)?;
+                    self.give_buf(local.into_vec());
+                    self.accumulate(a, g)?;
                 }
                 Op::Relu(a) => {
-                    let v = &self.nodes[a.0].value;
-                    let local = v.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                    let buf = self.take_buf();
+                    let local =
+                        self.nodes[a.0]
+                            .value
+                            .map_with(buf, |x| if x > 0.0 { 1.0 } else { 0.0 });
+                    let buf = self.take_buf();
+                    let g = out_grad.hadamard_with(&local, buf)?;
+                    self.give_buf(local.into_vec());
+                    self.accumulate(a, g)?;
                 }
                 Op::Square(a) => {
-                    let v = &self.nodes[a.0].value;
-                    let local = v.scale(2.0);
-                    self.accumulate(a, out_grad.hadamard(&local)?)?;
+                    let buf = self.take_buf();
+                    let local = self.nodes[a.0].value.scale_with(2.0, buf);
+                    let buf = self.take_buf();
+                    let g = out_grad.hadamard_with(&local, buf)?;
+                    self.give_buf(local.into_vec());
+                    self.accumulate(a, g)?;
                 }
                 Op::ConcatCols(parts) => {
                     let mut offset = 0;
                     for p in parts {
                         let w = self.nodes[p.0].value.cols();
                         let rows = out_grad.rows();
-                        let slice = Matrix::from_fn(rows, w, |r, c| out_grad.get(r, offset + c));
+                        let buf = self.take_buf();
+                        let slice =
+                            Matrix::from_fn_with(rows, w, buf, |r, c| out_grad.get(r, offset + c));
                         self.accumulate(p, slice)?;
                         offset += w;
                     }
                 }
                 Op::GatherRows { table, indices } => {
                     let tv = self.nodes[table.0].value.shape();
-                    let mut tg = Matrix::zeros(tv.0, tv.1);
+                    let buf = self.take_buf();
+                    let mut tg = Matrix::zeros_with(tv.0, tv.1, buf);
                     for (out_row, &idx) in indices.iter().enumerate() {
                         for (g, &og) in tg.row_mut(idx).iter_mut().zip(out_grad.row(out_row)) {
                             *g += og;
@@ -591,20 +734,26 @@ impl Graph {
                 }
                 Op::RowSums(a) => {
                     let shape = self.nodes[a.0].value.shape();
-                    let da = Matrix::from_fn(shape.0, shape.1, |r, _| out_grad.get(r, 0));
+                    let buf = self.take_buf();
+                    let da = Matrix::from_fn_with(shape.0, shape.1, buf, |r, _| out_grad.get(r, 0));
                     self.accumulate(a, da)?;
                 }
                 Op::MeanAll(a) => {
                     let shape = self.nodes[a.0].value.shape();
                     let g = out_grad.get(0, 0) / (shape.0 * shape.1) as f64;
-                    self.accumulate(a, Matrix::filled(shape.0, shape.1, g))?;
+                    let buf = self.take_buf();
+                    let da = Matrix::from_fn_with(shape.0, shape.1, buf, |_, _| g);
+                    self.accumulate(a, da)?;
                 }
                 Op::DropoutMask { input, mask } => {
-                    self.accumulate(input, out_grad.hadamard(&mask)?)?;
+                    let buf = self.take_buf();
+                    let g = out_grad.hadamard_with(&mask, buf)?;
+                    self.accumulate(input, g)?;
                 }
                 Op::SliceCols { input, start, len } => {
                     let shape = self.nodes[input.0].value.shape();
-                    let mut da = Matrix::zeros(shape.0, shape.1);
+                    let buf = self.take_buf();
+                    let mut da = Matrix::zeros_with(shape.0, shape.1, buf);
                     for r in 0..out_grad.rows() {
                         for jj in 0..len {
                             da.set(r, start + jj, out_grad.get(r, jj));
@@ -614,8 +763,9 @@ impl Graph {
                 }
                 Op::RowSoftmax(a) => {
                     // dX_i = p_i ⊙ (dY_i − (dY_i · p_i) 1), per row.
+                    let buf = self.take_buf();
                     let p = &self.nodes[i].value;
-                    let mut da = Matrix::zeros(p.rows(), p.cols());
+                    let mut da = Matrix::zeros_with(p.rows(), p.cols(), buf);
                     for r in 0..p.rows() {
                         let dot: f64 = out_grad
                             .row(r)
@@ -632,11 +782,18 @@ impl Graph {
                     self.accumulate(a, da)?;
                 }
             }
+            self.nodes[i].grad = Some(out_grad);
             if let Some((name, cost)) = profiled {
                 timer.finish(Phase::Backward, name, i, cost);
             }
         }
         Ok(())
+    }
+
+    /// Copy of `m` backed by an arena buffer.
+    fn pooled_clone(&mut self, m: &Matrix) -> Matrix {
+        let buf = self.take_buf();
+        m.clone_with(buf)
     }
 
     fn accumulate(&mut self, id: NodeId, grad: Matrix) -> Result<()> {
@@ -647,13 +804,16 @@ impl Graph {
             self.nodes[id.0].op.name(),
             id.0
         );
-        match &mut self.nodes[id.0].grad {
-            Some(existing) => existing.axpy(1.0, &grad),
-            slot @ None => {
-                *slot = Some(grad);
-                Ok(())
+        match self.nodes[id.0].grad.as_mut() {
+            Some(existing) => existing.axpy(1.0, &grad)?,
+            None => {
+                self.nodes[id.0].grad = Some(grad);
+                return Ok(());
             }
         }
+        // The summed-in gradient's storage goes back to the arena.
+        self.give_buf(grad.into_vec());
+        Ok(())
     }
 }
 

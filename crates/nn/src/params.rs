@@ -111,8 +111,11 @@ impl ParamSet {
     }
 
     /// Binds every parameter into `graph` as a leaf, returning the mapping.
+    /// The leaf copies draw their storage from the graph's scratch arena,
+    /// so re-binding into a [`Graph::reset`] graph allocates nothing once
+    /// the arena is warm.
     pub fn bind(&self, graph: &mut Graph) -> Bound {
-        let ids = self.values.iter().map(|v| graph.leaf(v.clone())).collect();
+        let ids = self.values.iter().map(|v| graph.leaf_from(v)).collect();
         Bound { ids }
     }
 

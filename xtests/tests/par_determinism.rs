@@ -81,6 +81,40 @@ fn kernels_cross_parallel_thresholds_deterministically() {
     let par = env2vec_par::with_thread_limit(4, || a.matmul(&b).unwrap());
     assert_eq!(seq, par);
 
+    // The transpose-free entry points must cross the same gates with the
+    // same bits: A·Bᵀ and Aᵀ·B over shapes big enough ( >= PAR_MIN_ELEMS
+    // outputs) that 4 workers really fan out, including values with
+    // bitwise zeros so the sparsity skip runs under both schedules.
+    let bt = b.transpose();
+    let seq_nt = env2vec_par::with_thread_limit(1, || a.matmul_nt(&bt).unwrap());
+    let par_nt = env2vec_par::with_thread_limit(4, || a.matmul_nt(&bt).unwrap());
+    assert_eq!(seq_nt, par_nt);
+    assert_eq!(seq, seq_nt, "nt layout diverged from plain matmul");
+
+    let at = a.transpose();
+    let seq_tn = env2vec_par::with_thread_limit(1, || at.matmul_tn(&b).unwrap());
+    let par_tn = env2vec_par::with_thread_limit(4, || at.matmul_tn(&b).unwrap());
+    assert_eq!(seq_tn, par_tn);
+    assert_eq!(seq, seq_tn, "tn layout diverged from plain matmul");
+
+    let big_a = Matrix::from_fn(300, 80, |i, j| {
+        if (i * 80 + j) % 11 == 0 {
+            0.0
+        } else {
+            ((i * 13 + j * 29) % 101) as f64 / 9.0 - 5.0
+        }
+    });
+    let big_b = Matrix::from_fn(80, 500, |i, j| ((i * 7 + j * 3) % 97) as f64 / 7.0 - 6.0);
+    let big_bt = big_b.transpose();
+    let big_at = big_a.transpose();
+    let nn_1 = env2vec_par::with_thread_limit(1, || big_a.matmul(&big_b).unwrap());
+    let nn_4 = env2vec_par::with_thread_limit(4, || big_a.matmul(&big_b).unwrap());
+    assert_eq!(nn_1, nn_4);
+    let nt_4 = env2vec_par::with_thread_limit(4, || big_a.matmul_nt(&big_bt).unwrap());
+    let tn_4 = env2vec_par::with_thread_limit(4, || big_at.matmul_tn(&big_b).unwrap());
+    assert_eq!(nn_1, nt_4, "parallel nt diverged from sequential matmul");
+    assert_eq!(nn_1, tn_4, "parallel tn diverged from sequential matmul");
+
     let tall = Matrix::from_fn(9000, 5, |i, j| ((i * 17 + j) % 1013) as f64 * 1e-4);
     let means_1 = env2vec_par::with_thread_limit(1, || tall.col_means());
     let means_4 = env2vec_par::with_thread_limit(4, || tall.col_means());

@@ -13,8 +13,9 @@
 //!
 //! Experiments: `fig1`, `table3`, `table4` (alias `kdn`), `fig3`,
 //! `fig4`, `table5`, `table6`, `table7`, `fig6`, `timing`, `ablation`,
-//! `finetune`; plus `tsdb` (the storage-engine workload — not part of
-//! `all`) and the `report` pseudo-experiment.
+//! `finetune`; plus `tsdb` (the storage-engine workload), `gemm` (the
+//! matrix-multiply microbenchmark) and `serve` (the inference-server
+//! workload) — none part of `all` — and the `report` pseudo-experiment.
 //!
 //! `--fast` shrinks datasets/grids for a smoke run (minutes); the default
 //! preset uses the paper's 125 build chains at reduced execution length;
@@ -68,7 +69,8 @@ fn usage() -> &'static str {
      \x20            [--profile-ops DIR] [--bench-history DIR] [--bench-gate] <experiment>...\n\
      experiments: fig1 table3 table4 (alias: kdn) fig3 fig4 table5 table6 table7 fig6 timing\n\
      \x20            ablation finetune | all; plus `tsdb` (storage-engine workload),\n\
-     \x20            `gemm` (matrix-multiply microbenchmark) and `report` (introspection report)"
+     \x20            `gemm` (matrix-multiply microbenchmark), `serve` (inference-server\n\
+     \x20            workload) and `report` (introspection report)"
 }
 
 /// Per-experiment outcome for the timing table and `--bench-json`.
@@ -98,6 +100,7 @@ fn bench_json(
     accuracy: &[(&'static str, f64)],
     tsdb: Option<&env2vec_bench::tsdb_ops::TsdbOpsSummary>,
     gemm: Option<&env2vec_bench::gemm_ops::GemmOpsSummary>,
+    serve: Option<&env2vec_bench::serve_ops::ServeOpsSummary>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -131,6 +134,9 @@ fn bench_json(
     }
     if let Some(summary) = gemm {
         out.push_str(&format!("  \"gemm\": {},\n", summary.json_object()));
+    }
+    if let Some(summary) = serve {
+        out.push_str(&format!("  \"serve\": {},\n", summary.json_object()));
     }
     out.push_str("  \"clean_mae\": {\n");
     for (i, (name, mae)) in accuracy.iter().enumerate() {
@@ -233,6 +239,7 @@ fn main() -> ExitCode {
             "kdn" => chosen.push("table4".to_string()),
             "tsdb" => chosen.push("tsdb".to_string()),
             "gemm" => chosen.push("gemm".to_string()),
+            "serve" => chosen.push("serve".to_string()),
             "report" => want_report = true,
             "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
             "-h" | "--help" => {
@@ -327,6 +334,7 @@ fn main() -> ExitCode {
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     let mut tsdb_summary: Option<env2vec_bench::tsdb_ops::TsdbOpsSummary> = None;
     let mut gemm_summary: Option<env2vec_bench::gemm_ops::GemmOpsSummary> = None;
+    let mut serve_summary: Option<env2vec_bench::serve_ops::ServeOpsSummary> = None;
     for name in &chosen {
         let t0 = Instant::now();
         let result = {
@@ -354,6 +362,12 @@ fn main() -> ExitCode {
                 "gemm" => {
                     env2vec_bench::gemm_ops::run_with_summary(&opts).map(|(text, summary)| {
                         gemm_summary = Some(summary);
+                        text
+                    })
+                }
+                "serve" => {
+                    env2vec_bench::serve_ops::run_with_summary(&opts).map(|(text, summary)| {
+                        serve_summary = Some(summary);
                         text
                     })
                 }
@@ -453,6 +467,9 @@ fn main() -> ExitCode {
                                     .collect()
                             })
                             .unwrap_or_default(),
+                        serve_predictions_per_sec: serve_summary
+                            .as_ref()
+                            .map(|s| s.predictions_per_sec),
                     })
                 };
                 let comparison = match (records.first(), current_run, records.last()) {
@@ -524,6 +541,7 @@ fn main() -> ExitCode {
             &accuracy,
             tsdb_summary.as_ref(),
             gemm_summary.as_ref(),
+            serve_summary.as_ref(),
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write bench json to {path}: {e}");

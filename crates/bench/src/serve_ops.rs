@@ -1,0 +1,398 @@
+//! The `serve` repro experiment: inference-server workload under load.
+//!
+//! Boots a real `env2vec-serve` server on a loopback ephemeral port,
+//! publishes per-environment models into a [`RegistryHub`], and storms
+//! it with the loadgen client:
+//!
+//! 1. **closed-loop storm** — keep-alive connections firing
+//!    back-to-back batched requests; the headline
+//!    `predictions_per_sec` the bench gate tracks;
+//! 2. **publish-under-load** — a new model version is published for the
+//!    hot environment *while the second storm runs*, and the run then
+//!    asserts the server switched to it (versioned cache invalidation
+//!    under fire);
+//! 3. **open-loop storm** — schedule-paced requests, so tail latency
+//!    reflects queueing rather than generator back-pressure;
+//! 4. **golden bit-identity** — storm rows are re-predicted solo through
+//!    `Model::predict` and compared `f64::to_bits`-exact against what
+//!    the server returned. Batching must change throughput, never bits.
+//!
+//! Client-side p50/p95/p99 come from the loadgen report; server-side
+//! quantiles from the `serve_request_seconds` histogram, which the
+//! repro harness also self-scrapes into the telemetry TSDB like every
+//! other registry metric.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use env2vec::config::Env2VecConfig;
+use env2vec::dataframe::Dataframe;
+use env2vec::model::Env2VecModel;
+use env2vec::serialize::save_model;
+use env2vec::vocab::EmVocabulary;
+use env2vec_eval::EvalOptions;
+use env2vec_linalg::{Error, Matrix};
+use env2vec_serve::batch::BatchOptions;
+use env2vec_serve::loadgen::{self, LoadgenOptions, Pacing};
+use env2vec_serve::server::{Server, ServerOptions};
+use env2vec_telemetry::registry::RegistryHub;
+
+const EM: [&str; 4] = ["tb", "s", "tc", "b"];
+const NUM_CF: usize = 3;
+const HISTORY_WINDOW: usize = 2;
+
+/// Workload shape, scaled by the preset.
+struct Shape {
+    environments: usize,
+    connections: usize,
+    requests_per_connection: usize,
+    rows_per_request: usize,
+    open_loop_rate: f64,
+}
+
+fn shape(fast: bool) -> Shape {
+    if fast {
+        Shape {
+            environments: 2,
+            connections: 4,
+            requests_per_connection: 60,
+            rows_per_request: 32,
+            open_loop_rate: 800.0,
+        }
+    } else {
+        Shape {
+            environments: 4,
+            connections: 8,
+            requests_per_connection: 150,
+            rows_per_request: 64,
+            open_loop_rate: 2000.0,
+        }
+    }
+}
+
+/// Everything the workload measured, for `--bench-json`.
+#[derive(Debug, Clone)]
+pub struct ServeOpsSummary {
+    /// Requests completed across both storms.
+    pub requests: u64,
+    /// Predicted rows across both storms.
+    pub predictions: u64,
+    /// Failed requests (must be zero for the run to succeed).
+    pub errors: u64,
+    /// Closed-loop predicted rows per second — the headline number.
+    pub predictions_per_sec: f64,
+    /// Client-observed closed-loop latency quantiles, milliseconds.
+    pub closed_p50_ms: f64,
+    /// Client-observed closed-loop p95, milliseconds.
+    pub closed_p95_ms: f64,
+    /// Client-observed closed-loop p99, milliseconds.
+    pub closed_p99_ms: f64,
+    /// Open-loop (schedule-anchored) p99, milliseconds.
+    pub open_p99_ms: f64,
+    /// Server-side request latency p50 (seconds), from
+    /// `serve_request_seconds`.
+    pub server_p50_seconds: f64,
+    /// Server-side p95 (seconds).
+    pub server_p95_seconds: f64,
+    /// Server-side p99 (seconds).
+    pub server_p99_seconds: f64,
+    /// Batches executed by the coalescer during the run.
+    pub batches: u64,
+    /// Rows those batches carried.
+    pub batched_rows: u64,
+    /// Model version served after the under-load publish (must be 2).
+    pub version_after_publish: u64,
+    /// Storm rows re-checked solo, all bit-identical.
+    pub golden_rows_checked: usize,
+}
+
+impl ServeOpsSummary {
+    /// Mean rows per executed batch.
+    pub fn rows_per_batch(&self) -> f64 {
+        self.batched_rows as f64 / self.batches.max(1) as f64
+    }
+
+    /// The `"serve": {...}` object for `--bench-json`.
+    pub fn json_object(&self) -> String {
+        format!(
+            "{{\n    \"predictions_per_sec\": {:.0},\n    \"requests\": {},\n    \
+             \"predictions\": {},\n    \"errors\": {},\n    \
+             \"closed_p50_ms\": {:.3},\n    \"closed_p95_ms\": {:.3},\n    \
+             \"closed_p99_ms\": {:.3},\n    \"open_p99_ms\": {:.3},\n    \
+             \"server_p99_seconds\": {:.6},\n    \"rows_per_batch\": {:.1},\n    \
+             \"version_after_publish\": {},\n    \"golden_rows_checked\": {}\n  }}",
+            self.predictions_per_sec,
+            self.requests,
+            self.predictions,
+            self.errors,
+            self.closed_p50_ms,
+            self.closed_p95_ms,
+            self.closed_p99_ms,
+            self.open_p99_ms,
+            self.server_p99_seconds,
+            self.rows_per_batch(),
+            self.version_after_publish,
+            self.golden_rows_checked,
+        )
+    }
+}
+
+/// Trains one small deterministic model; `salt` differentiates
+/// environments and published versions.
+fn train_model(seed: u64, salt: usize) -> Result<Env2VecModel, Error> {
+    let mut vocab = EmVocabulary::telecom();
+    let s = (seed as usize).wrapping_mul(31).wrapping_add(salt);
+    let cf = Matrix::from_fn(60, NUM_CF, |i, j| ((i * 3 + j + s) % 11) as f64);
+    let ru: Vec<f64> = (0..60).map(|i| 25.0 + ((i + s) % 9) as f64).collect();
+    let df = Dataframe::from_series(&cf, &ru, &EM, HISTORY_WINDOW, &mut vocab)?;
+    Env2VecModel::new(Env2VecConfig::fast(), vocab, &df)
+}
+
+fn env_name(i: usize) -> String {
+    format!("env{i}")
+}
+
+fn storm_options(
+    sh: &Shape,
+    addr: std::net::SocketAddr,
+    env: String,
+    pacing: Pacing,
+) -> LoadgenOptions {
+    LoadgenOptions {
+        addr,
+        env,
+        em: EM.iter().map(|s| s.to_string()).collect(),
+        connections: sh.connections,
+        requests_per_connection: sh.requests_per_connection,
+        rows_per_request: sh.rows_per_request,
+        num_cf: NUM_CF,
+        history_window: HISTORY_WINDOW,
+        pacing,
+    }
+}
+
+fn fail(what: &'static str) -> Error {
+    Error::InvalidArgument { what }
+}
+
+/// Runs the workload; returns the human-readable table.
+pub fn run(opts: &EvalOptions) -> Result<String, Error> {
+    let (text, _) = run_with_summary(opts)?;
+    Ok(text)
+}
+
+/// Like [`run`], but also hands back the summary for `--bench-json` and
+/// the bench gate.
+pub fn run_with_summary(opts: &EvalOptions) -> Result<(String, ServeOpsSummary), Error> {
+    let sh = shape(opts.fast);
+    let _span = env2vec_obs::span!(
+        "bench/serve_ops",
+        preset = if opts.fast { "fast" } else { "standard" }
+    );
+
+    // Publish one model per environment.
+    let hub = Arc::new(RegistryHub::new());
+    let mut models = Vec::with_capacity(sh.environments);
+    for i in 0..sh.environments {
+        let model = train_model(opts.seed, i)?;
+        hub.registry(&env_name(i))
+            .publish("v1", save_model(&model).into_bytes());
+        models.push(model);
+    }
+
+    let server = Server::start(
+        Arc::clone(&hub),
+        ServerOptions {
+            addr: "127.0.0.1:0"
+                .parse()
+                .map_err(|_| fail("loopback address"))?,
+            batch: BatchOptions {
+                window: Duration::from_micros(200),
+                max_rows: 256,
+            },
+        },
+    )
+    .map_err(|_| fail("server failed to start"))?;
+    let addr = server.addr();
+
+    let metrics = env2vec_obs::metrics();
+    let batches_before = metrics.counter("serve_batches_total").get();
+    let rows_before = metrics.counter("serve_batched_rows_total").get();
+
+    // Phase 1: closed-loop storm on env0 — the throughput headline.
+    let closed = loadgen::run(&storm_options(&sh, addr, env_name(0), Pacing::ClosedLoop));
+    if closed.errors > 0 {
+        return Err(fail("closed-loop storm had failed requests"));
+    }
+
+    // Phase 2: open-loop storm, with a model publish landing mid-run.
+    let publisher_hub = Arc::clone(&hub);
+    let publish_seed = opts.seed;
+    let open = std::thread::scope(|scope| {
+        let storm = scope.spawn(|| {
+            loadgen::run(&storm_options(
+                &sh,
+                addr,
+                env_name(0),
+                Pacing::OpenLoop {
+                    rate: sh.open_loop_rate,
+                },
+            ))
+        });
+        let publisher = scope.spawn(move || {
+            // Land the publish squarely inside the storm.
+            std::thread::sleep(Duration::from_millis(100));
+            train_model(publish_seed, 1_000).map(|m| {
+                publisher_hub
+                    .registry(&env_name(0))
+                    .publish("v2", save_model(&m).into_bytes())
+            })
+        });
+        let report = storm.join();
+        let published = publisher.join();
+        (report, published)
+    });
+    let open = match open {
+        (Ok(report), Ok(Ok(2))) => report,
+        (Ok(_), Ok(Ok(_))) => return Err(fail("under-load publish got an unexpected version")),
+        (Ok(_), Ok(Err(e))) => return Err(e),
+        _ => return Err(fail("storm or publisher thread panicked")),
+    };
+    if open.errors > 0 {
+        return Err(fail("open-loop storm had failed requests"));
+    }
+
+    // The publish-under-load must now be live: the golden check below
+    // re-predicts against v2 and the served version must agree.
+    let v2_model = train_model(opts.seed, 1_000)?;
+    let cached = server
+        .batcher()
+        .cache()
+        .get(&env_name(0))
+        .map_err(|_| fail("post-publish cache probe failed"))?;
+    if cached.version != 2 {
+        return Err(fail("publish under load did not invalidate the cache"));
+    }
+
+    // Golden bit-identity: replay storm requests solo and compare bits.
+    let storm_opts = storm_options(&sh, addr, env_name(0), Pacing::ClosedLoop);
+    let mut golden_rows_checked = 0usize;
+    for (connection, sequence) in [(0usize, 0usize), (1, 3), (sh.connections - 1, 7)] {
+        let request = loadgen::deterministic_request(&storm_opts, connection, sequence);
+        let (version, served) = server
+            .batcher()
+            .predict(request.clone())
+            .map_err(|_| fail("golden replay request failed"))?;
+        if version != 2 {
+            return Err(fail("golden replay served a stale model version"));
+        }
+        let encoded: Vec<&str> = request.em.iter().map(String::as_str).collect();
+        for (row, &batched) in request.rows.iter().zip(&served) {
+            let df = Dataframe {
+                cf: Matrix::from_rows(std::slice::from_ref(&row.cf))?,
+                history: Matrix::from_rows(std::slice::from_ref(&row.history))?,
+                em: vec![v2_model.vocab().encode(&encoded)],
+                target: vec![0.0],
+            };
+            let solo = v2_model.predict(&df)?[0];
+            if solo.to_bits() != batched.to_bits() {
+                return Err(fail("batched prediction diverged from solo predict"));
+            }
+            golden_rows_checked += 1;
+        }
+    }
+
+    // A secondary environment must serve independently.
+    if sh.environments > 1 {
+        let probe = loadgen::deterministic_request(
+            &storm_options(&sh, addr, env_name(1), Pacing::ClosedLoop),
+            0,
+            0,
+        );
+        let (version, preds) = server
+            .batcher()
+            .predict(probe)
+            .map_err(|_| fail("secondary environment probe failed"))?;
+        if version != 1 || preds.len() != sh.rows_per_request {
+            return Err(fail("secondary environment served wrong version or shape"));
+        }
+    }
+
+    let server_hist = metrics.histogram("serve_request_seconds");
+    let summary = ServeOpsSummary {
+        requests: closed.requests + open.requests,
+        predictions: closed.predictions + open.predictions,
+        errors: closed.errors + open.errors,
+        predictions_per_sec: closed.predictions_per_sec,
+        closed_p50_ms: closed.p50_ms,
+        closed_p95_ms: closed.p95_ms,
+        closed_p99_ms: closed.p99_ms,
+        open_p99_ms: open.p99_ms,
+        server_p50_seconds: server_hist.quantile(0.50),
+        server_p95_seconds: server_hist.quantile(0.95),
+        server_p99_seconds: server_hist.quantile(0.99),
+        batches: metrics.counter("serve_batches_total").get() - batches_before,
+        batched_rows: metrics.counter("serve_batched_rows_total").get() - rows_before,
+        version_after_publish: cached.version,
+        golden_rows_checked,
+    };
+    server.shutdown();
+
+    let mut text = String::new();
+    text.push_str("Inference-server workload (env2vec-serve over loopback TCP)\n\n");
+    text.push_str(&format!(
+        "  closed-loop storm   {:>10.0} predictions/s   ({} requests x {} rows, {} connections)\n",
+        summary.predictions_per_sec,
+        sh.connections * sh.requests_per_connection,
+        sh.rows_per_request,
+        sh.connections,
+    ));
+    text.push_str(&format!(
+        "  client latency      p50 {:>7.2} ms   p95 {:>7.2} ms   p99 {:>7.2} ms\n",
+        summary.closed_p50_ms, summary.closed_p95_ms, summary.closed_p99_ms,
+    ));
+    text.push_str(&format!(
+        "  open-loop tail      p99 {:>7.2} ms (schedule-anchored, rate {:.0}/s)\n",
+        summary.open_p99_ms, sh.open_loop_rate,
+    ));
+    text.push_str(&format!(
+        "  server latency      p50 {:.6} s   p99 {:.6} s  (serve_request_seconds)\n",
+        summary.server_p50_seconds, summary.server_p99_seconds,
+    ));
+    text.push_str(&format!(
+        "  batching            {} batches, {:.1} rows/batch\n",
+        summary.batches,
+        summary.rows_per_batch(),
+    ));
+    text.push_str(&format!(
+        "  invalidation        publish under load -> served version {}  [ok]\n",
+        summary.version_after_publish,
+    ));
+    text.push_str(&format!(
+        "  golden check        {} storm rows bit-identical to solo Model::predict  [ok]\n",
+        summary.golden_rows_checked,
+    ));
+    Ok((text, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_workload_runs_clean() {
+        let mut opts = EvalOptions::fast();
+        opts.seed = 11;
+        let (text, summary) = run_with_summary(&opts).expect("workload runs");
+        assert!(text.contains("golden check"), "{text}");
+        assert_eq!(summary.errors, 0);
+        assert!(summary.predictions > 0);
+        assert!(summary.predictions_per_sec > 0.0);
+        assert_eq!(summary.version_after_publish, 2);
+        assert!(summary.golden_rows_checked > 0);
+        let json = summary.json_object();
+        assert!(json.contains("\"predictions_per_sec\""));
+        assert!(json.contains("\"closed_p99_ms\""));
+        assert!(json.contains("\"version_after_publish\": 2"));
+    }
+}

@@ -6,6 +6,7 @@
 //! env2vec screen   --dataset dataset.json --model model.json [--gamma G] --out alarms.json
 //! env2vec embed    --model model.json --testbed T --sut S --testcase C --build B
 //! env2vec info     --model model.json
+//! env2vec serve    --model model.json [--env NAME] [--addr HOST:PORT]
 //! ```
 
 use std::collections::HashMap;
@@ -18,6 +19,7 @@ fn usage() -> &'static str {
      env2vec screen   --dataset FILE --model FILE [--gamma G] --out FILE\n  \
      env2vec embed    --model FILE --testbed T --sut S --testcase C --build B\n  \
      env2vec info     --model FILE\n  \
+     env2vec serve    --model FILE [--env NAME] [--addr HOST:PORT]\n  \
      global flags: --verbose (structured progress logs on stderr)"
 }
 
@@ -134,6 +136,23 @@ fn run() -> Result<(), String> {
             let out = env2vec_cli::info(&read("model")?).map_err(|e| e.to_string())?;
             emit(&out);
             Ok(())
+        }
+        "serve" => {
+            let env = flags.get("env").map(String::as_str).unwrap_or("default");
+            let addr = flags
+                .get("addr")
+                .map(String::as_str)
+                .unwrap_or("127.0.0.1:8642");
+            let server =
+                env2vec_cli::serve(&read("model")?, env, addr).map_err(|e| e.to_string())?;
+            emit(&format!(
+                "serving environment '{env}' on http://{} (POST /predict, GET /metrics, GET /healthz)",
+                server.addr()
+            ));
+            // Serve until killed; the detached accept loop does the work.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
         }
         "-h" | "--help" => {
             emit(usage());

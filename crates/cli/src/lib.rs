@@ -216,6 +216,28 @@ pub fn embed(
     ))
 }
 
+/// `serve`: publishes a saved model into an in-process registry and
+/// starts the batched inference server on `addr`.
+///
+/// Returns the running server; the binary blocks on it (Ctrl-C to
+/// stop), tests shut it down explicitly.
+pub fn serve(model_json: &str, env: &str, addr: &str) -> Result<env2vec_serve::server::Server> {
+    // Validate the blob up front so a bad model file fails at startup,
+    // not on the first request.
+    load_model(model_json)?;
+    let hub = std::sync::Arc::new(env2vec_telemetry::registry::RegistryHub::new());
+    hub.registry(env)
+        .publish("cli", model_json.as_bytes().to_vec());
+    let opts = env2vec_serve::server::ServerOptions {
+        addr: addr
+            .parse()
+            .map_err(|_| CliError(format!("--addr: bad HOST:PORT '{addr}'")))?,
+        batch: env2vec_serve::batch::BatchOptions::default(),
+    };
+    env2vec_serve::server::Server::start(hub, opts)
+        .map_err(|e| CliError(format!("server failed to start: {e}")))
+}
+
 /// `info`: summarises a saved model.
 pub fn info(model_json: &str) -> Result<String> {
     let model = load_model(model_json)?;
@@ -296,6 +318,30 @@ mod tests {
         let info_out = info(&model_json)?;
         assert!(info_out.contains("weights"));
         assert!(info_out.contains("testbed"));
+        Ok(())
+    }
+
+    #[test]
+    fn serve_subcommand_boots_and_answers_healthz() -> TestResult {
+        use std::io::{Read, Write};
+        let dataset = tiny_dataset_json()?;
+        let (model_json, _) = train(&dataset, Some(3), Some(4))?;
+        assert!(serve("{not a model", "edge", "127.0.0.1:0").is_err());
+        assert!(serve(&model_json, "edge", "not-an-addr").is_err());
+        let server = serve(&model_json, "edge", "127.0.0.1:0")?;
+        let cached = server
+            .batcher()
+            .cache()
+            .get("edge")
+            .map_err(|e| e.to_string())?;
+        assert_eq!(cached.version, 1);
+        let mut stream = std::net::TcpStream::connect(server.addr())?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        server.shutdown();
         Ok(())
     }
 

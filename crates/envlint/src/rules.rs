@@ -81,8 +81,9 @@ pub const WALL_CLOCK_SCOPE: [&str; 10] = [
 
 /// Crates documented as *intentionally* outside `wall-clock`: the CLI
 /// and bench driver measure wall time by design, `obs` timestamps spans,
-/// `envlint` holds no model state, and `xtests` is test code.
-pub const WALL_CLOCK_EXEMPT: [&str; 5] = ["cli", "bench", "obs", "envlint", "xtests"];
+/// `serve` times requests and paces storms, `envlint` holds no model
+/// state, and `xtests` is test code.
+pub const WALL_CLOCK_EXEMPT: [&str; 6] = ["cli", "bench", "obs", "serve", "envlint", "xtests"];
 
 /// Crates exempt from `hash-iter`: flag parsing and the bench driver do
 /// I/O, not numerics; `envlint` itself holds no model state.

@@ -26,6 +26,9 @@ pub struct BenchRecord {
     pub experiments: Vec<(String, f64)>,
     /// Per-method `(name, clean_mae)` in file order.
     pub clean_mae: Vec<(String, f64)>,
+    /// Closed-loop throughput of the `serve` workload, when the record
+    /// has a `"serve"` section (higher is better).
+    pub serve_predictions_per_sec: Option<f64>,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -78,6 +81,11 @@ impl BenchRecord {
         } else {
             return None;
         }
+        let serve_predictions_per_sec = root
+            .field("serve")
+            .ok()
+            .and_then(|serve| serve.field("predictions_per_sec").ok())
+            .and_then(number);
         Some(BenchRecord {
             name: name.to_string(),
             preset,
@@ -85,6 +93,7 @@ impl BenchRecord {
             runs,
             experiments,
             clean_mae,
+            serve_predictions_per_sec,
         })
     }
 
@@ -199,6 +208,25 @@ pub fn compare(
             });
         }
     }
+    // Serve throughput regresses downward: flag a drop by the same
+    // factor that flags a wall-time increase.
+    if let (Some(base), Some(cur)) = (
+        baseline.serve_predictions_per_sec,
+        current.serve_predictions_per_sec,
+    ) {
+        if base > 0.0 {
+            let ratio = cur / base;
+            if ratio <= 1.0 / cfg.wall_ratio_max {
+                out.push(Regression {
+                    kind: "serve_throughput",
+                    name: "predictions_per_sec".to_string(),
+                    baseline: base,
+                    current: cur,
+                    ratio,
+                });
+            }
+        }
+    }
     for (method, mae) in &current.clean_mae {
         let Some(base) = baseline.mae_of(method) else {
             continue;
@@ -249,6 +277,10 @@ pub fn render_comparison(
         match r.kind {
             "wall" => out.push_str(&format!(
                 "  REGRESSION wall      {:<12} {:>8.3} s -> {:>8.3} s  ({:.2}x)\n",
+                r.name, r.baseline, r.current, r.ratio
+            )),
+            "serve_throughput" => out.push_str(&format!(
+                "  REGRESSION serve     {:<12} {:>8.0}/s -> {:>8.0}/s  ({:.2}x)\n",
                 r.name, r.baseline, r.current, r.ratio
             )),
             _ => out.push_str(&format!(
@@ -317,6 +349,35 @@ mod tests {
         let text = render_comparison(&base, &bad, &regs, &[]);
         assert!(text.contains("REGRESSION wall"));
         assert!(text.contains("REGRESSION clean_mae"));
+    }
+
+    #[test]
+    fn serve_throughput_drop_is_flagged_and_absence_is_ignored() {
+        let with_serve = |pps: f64| {
+            let json = format!(
+                r#"{{
+                  "preset": "fast", "seed": 9, "runs": 2,
+                  "experiments": [{{"name": "serve", "wall_seconds": 1.0}}],
+                  "serve": {{"predictions_per_sec": {pps}}},
+                  "clean_mae": {{}}
+                }}"#
+            );
+            BenchRecord::parse("BENCH_serve.json", &json).expect("fixture parses")
+        };
+        let base = with_serve(100000.0);
+        assert_eq!(base.serve_predictions_per_sec, Some(100000.0));
+        // A 2x throughput drop trips the gate; a small dip does not.
+        let slow = with_serve(50000.0);
+        let regs = compare(&base, &slow, &CompareConfig::default());
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].kind, "serve_throughput");
+        assert!(render_comparison(&base, &slow, &regs, &[]).contains("REGRESSION serve"));
+        let dip = with_serve(90000.0);
+        assert!(compare(&base, &dip, &CompareConfig::default()).is_empty());
+        // Records without a serve section never compare throughput.
+        let plain = record("BENCH_a.json", 3.7, 1.82);
+        assert_eq!(plain.serve_predictions_per_sec, None);
+        assert!(compare(&plain, &base, &CompareConfig::default()).is_empty());
     }
 
     #[test]

@@ -188,11 +188,19 @@ impl Histogram {
 /// the same `histogram_quantile` rule Prometheus applies server-side.
 ///
 /// `cumulative` must have `bounds.len() + 1` entries (the last is the
-/// `+Inf` bucket). The target rank `q·total` is located in its bucket and
-/// linearly interpolated between the bucket's bounds (the first bucket's
-/// lower bound is 0). Ranks landing in the `+Inf` bucket return the last
+/// `+Inf` bucket). The target rank `q·total` is located in the first
+/// **occupied** bucket whose cumulative count reaches it and linearly
+/// interpolated between the bucket's bounds (the first bucket's lower
+/// bound is 0). Ranks landing in the `+Inf` bucket return the last
 /// finite bound — the estimator cannot see past it. Returns NaN when the
 /// histogram is empty.
+///
+/// Skipping empty buckets only matters at rank 0 (`q = 0.0`): an empty
+/// leading bucket has `cumulative[0] = 0 >= rank`, and an earlier
+/// version of this function answered with `bounds[0]` — a bound that can
+/// sit *below* every recorded observation. `q = 0.0` now reports the
+/// lower edge of the bucket holding the minimum, matching what
+/// [`Histogram::quantile`] reports for every other rank.
 pub fn quantile_from_cumulative(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
     let total = match cumulative.last() {
         Some(&t) if t > 0 => t as f64,
@@ -201,7 +209,9 @@ pub fn quantile_from_cumulative(bounds: &[f64], cumulative: &[u64], q: f64) -> f
     let q = q.clamp(0.0, 1.0);
     let rank = q * total;
     for (i, &cum) in cumulative.iter().enumerate() {
-        if (cum as f64) >= rank {
+        // `cum > 0` excludes empty leading buckets, reachable only at
+        // rank 0; for any positive rank, `cum >= rank` implies `cum > 0`.
+        if (cum as f64) >= rank && cum > 0 {
             if i >= bounds.len() {
                 return bounds.last().copied().unwrap_or(f64::NAN);
             }
@@ -211,10 +221,11 @@ pub fn quantile_from_cumulative(bounds: &[f64], cumulative: &[u64], q: f64) -> f
             } else {
                 cumulative[i - 1] as f64
             };
+            // Strictly positive: an occupied bucket at the first index
+            // whose cumulative count reaches the rank cannot share its
+            // count with the (necessarily smaller or rank-missing)
+            // predecessor.
             let in_bucket = cum as f64 - prev;
-            if in_bucket <= 0.0 {
-                return bounds[i];
-            }
             return lower + (bounds[i] - lower) * (rank - prev) / in_bucket;
         }
     }
@@ -543,6 +554,104 @@ mod tests {
             quantile_from_cumulative(&[2.0], &[3, 3], 7.0),
             quantile_from_cumulative(&[2.0], &[3, 3], 1.0)
         );
+    }
+
+    #[test]
+    fn quantile_zero_reports_the_bucket_holding_the_minimum() {
+        // Regression: with empty leading buckets, rank 0 used to match
+        // the empty first bucket (cumulative 0 >= 0) and answer
+        // bounds[0] — below every recorded observation. All mass here is
+        // in (2, 4], so q=0 must report that bucket's lower edge.
+        assert_eq!(
+            quantile_from_cumulative(&[1.0, 2.0, 4.0], &[0, 0, 5, 5], 0.0),
+            2.0
+        );
+        // Same through the Histogram path.
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        h.observe(3.0);
+        h.observe(3.5);
+        assert_eq!(h.quantile(0.0), 2.0);
+        // Mass in the first bucket keeps the old answer: bottom is 0.
+        let h2 = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        h2.observe(0.5);
+        h2.observe(3.0);
+        assert_eq!(h2.quantile(0.0), 0.0);
+        // All mass in +Inf: every quantile saturates at the last bound.
+        assert_eq!(quantile_from_cumulative(&[1.0, 2.0], &[0, 0, 3], 0.0), 2.0);
+    }
+
+    #[test]
+    fn quantile_edge_ranks_and_single_bucket() {
+        // Single-bucket histogram: q=0 is the bottom, q=1 the top, and
+        // interior ranks interpolate linearly.
+        let h = Histogram::with_bounds(&[8.0]);
+        for _ in 0..4 {
+            h.observe(1.0);
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        assert!((h.quantile(0.5) - 4.0).abs() < 1e-12);
+        // q=1 with overflow mass saturates at the last finite bound.
+        assert_eq!(quantile_from_cumulative(&[8.0], &[4, 6], 1.0), 8.0);
+        // One observation total: q=0 and q=1 bracket its bucket.
+        assert_eq!(
+            quantile_from_cumulative(&[1.0, 2.0, 4.0], &[0, 1, 1, 1], 0.0),
+            1.0
+        );
+        assert_eq!(
+            quantile_from_cumulative(&[1.0, 2.0, 4.0], &[0, 1, 1, 1], 1.0),
+            2.0
+        );
+    }
+
+    #[test]
+    fn quantile_paths_agree_while_observers_run() {
+        // Live-scrape shape: writers hammer `observe` while a reader
+        // takes snapshots. For every snapshot the two quantile paths —
+        // `Histogram::quantile` recomputed from a fresh snapshot is
+        // inherently racy, so the agreement contract is stated on one
+        // snapshot: `quantile_from_cumulative` over the scraped
+        // cumulative counts IS the histogram quantile. The reader checks
+        // that both stay finite, ordered, and inside the bucket range
+        // at every intermediate state.
+        let h = Arc::new(Histogram::with_bounds(&[1.0, 2.0, 4.0, 8.0]));
+        let mut writers = Vec::new();
+        for w in 0..2 {
+            let h = Arc::clone(&h);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..5000u64 {
+                    // Deterministic value stream spanning all buckets
+                    // including +Inf.
+                    let v = ((i * 7 + w * 3) % 10) as f64;
+                    h.observe(v);
+                }
+            }));
+        }
+        for _ in 0..200 {
+            let cumulative = h.cumulative_counts();
+            if *cumulative.last().unwrap() == 0 {
+                continue;
+            }
+            for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+                let v = quantile_from_cumulative(h.bounds(), &cumulative, q);
+                assert!(v.is_finite(), "q={q} not finite on a live snapshot");
+                assert!((0.0..=8.0).contains(&v), "q={q} out of range: {v}");
+            }
+            let p50 = quantile_from_cumulative(h.bounds(), &cumulative, 0.5);
+            let p99 = quantile_from_cumulative(h.bounds(), &cumulative, 0.99);
+            assert!(p50 <= p99, "quantiles must be monotone in q");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Settled state: both paths agree exactly on the same snapshot.
+        let cumulative = h.cumulative_counts();
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                h.quantile(q).to_bits(),
+                quantile_from_cumulative(h.bounds(), &cumulative, q).to_bits()
+            );
+        }
     }
 
     #[test]

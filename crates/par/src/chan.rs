@@ -65,8 +65,19 @@ impl<T> Receiver<T> {
     }
 
     /// Pops a value if one is immediately available.
+    #[cfg(test)]
     pub fn try_recv(&self) -> Option<T> {
         self.shared.queue.lock().pop_front()
+    }
+
+    /// Pops the oldest queued value matching `pred`, skipping (and
+    /// leaving in place) everything else. Lets a scope owner help-steal
+    /// its own jobs without dequeuing another scope's — or a long-lived
+    /// detached job it would then block on.
+    pub fn try_recv_where(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let mut queue = self.shared.queue.lock();
+        let index = queue.iter().position(pred)?;
+        queue.remove(index)
     }
 
     /// Number of queued values at this instant.
@@ -104,6 +115,23 @@ mod tests {
         assert_eq!(rx.try_recv(), Some(1));
         assert_eq!(rx.recv(), 2);
         assert_eq!(rx.recv(), 3);
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn try_recv_where_pops_oldest_match_and_preserves_the_rest() {
+        let (tx, rx) = channel();
+        tx.send((0u64, "conn-a"));
+        tx.send((1u64, "job-1"));
+        tx.send((0u64, "conn-b"));
+        tx.send((1u64, "job-2"));
+        // A tag-1 steal skips the tag-0 entries entirely.
+        assert_eq!(rx.try_recv_where(|(t, _)| *t == 1), Some((1, "job-1")));
+        assert_eq!(rx.try_recv_where(|(t, _)| *t == 1), Some((1, "job-2")));
+        assert_eq!(rx.try_recv_where(|(t, _)| *t == 1), None);
+        // The skipped entries are still queued, in their original order.
+        assert_eq!(rx.recv(), (0, "conn-a"));
+        assert_eq!(rx.recv(), (0, "conn-b"));
         assert_eq!(rx.try_recv(), None);
     }
 

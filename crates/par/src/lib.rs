@@ -53,13 +53,13 @@ pub mod ingest;
 mod pool;
 
 pub use ingest::{append_batch, BatchSample};
-pub use pool::spawned_workers;
+pub use pool::{detached_jobs, spawned_workers};
 
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, OnceLock};
 
 use env2vec_telemetry::locks::{self, TrackedMutex};
@@ -159,9 +159,15 @@ impl ScopeState {
 pub struct Scope<'env> {
     state: Arc<ScopeState>,
     inline: bool,
+    /// This scope's queue tag; the owner help-steals only jobs carrying
+    /// it (never another scope's, never a long-lived detached job).
+    tag: u64,
     /// Invariant over `'env`, mirroring `std::thread::Scope`.
     _env: PhantomData<&'env mut &'env ()>,
 }
+
+/// Scope tags start at 1; 0 is [`pool::TAG_DETACHED`].
+static NEXT_SCOPE_TAG: AtomicU64 = AtomicU64::new(1);
 
 impl<'env> Scope<'env> {
     /// Runs `f` on the pool (or inline for single-threaded/nested
@@ -186,19 +192,22 @@ impl<'env> Scope<'env> {
         let job: pool::Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
-        pool::submit(Box::new(move || {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                let mut slot = state.panic.lock();
-                if slot.is_none() {
-                    *slot = Some(payload);
+        pool::submit(
+            self.tag,
+            Box::new(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    let mut slot = state.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
                 }
-            }
-            let mut pending = state.pending.lock();
-            *pending -= 1;
-            if *pending == 0 {
-                state.done.notify_all();
-            }
-        }));
+                let mut pending = state.pending.lock();
+                *pending -= 1;
+                if *pending == 0 {
+                    state.done.notify_all();
+                }
+            }),
+        );
     }
 
     /// Like [`Scope::spawn`], wrapping the job in an [`env2vec_obs`] span
@@ -220,27 +229,35 @@ impl<'env> Scope<'env> {
 /// Lives in a `Drop` impl so the wait happens even when the scope body
 /// panics — the safety of `Scope::spawn`'s lifetime erasure depends on
 /// it.
-struct Completion<'a>(&'a ScopeState);
+struct Completion<'a> {
+    state: &'a ScopeState,
+    tag: u64,
+}
 
 impl Drop for Completion<'_> {
     fn drop(&mut self) {
-        // Run queued jobs on this thread instead of sleeping: with k
-        // workers the scope owner is the (k+1)-th executor, and if the OS
-        // refused us workers entirely this loop alone completes the
-        // scope (no deadlock by construction).
+        // Run this scope's queued jobs on this thread instead of
+        // sleeping: with k workers the scope owner is the (k+1)-th
+        // executor, and if the OS refused us workers entirely this loop
+        // alone completes the scope (no deadlock by construction). The
+        // steal is tag-filtered — dequeuing a foreign job here would at
+        // best delay another scope and at worst block this one for the
+        // lifetime of a long-lived detached job (a server connection
+        // handler), which is how the pre-tag pool could wedge a short
+        // `par_map` behind an open TCP connection.
         loop {
-            if *self.0.pending.lock() == 0 {
+            if *self.state.pending.lock() == 0 {
                 return;
             }
-            match pool::try_steal() {
+            match pool::try_steal_tagged(self.tag) {
                 Some(job) => job(),
                 None => break,
             }
         }
-        // Queue drained; the remaining jobs are in flight on workers.
-        let mut pending = self.0.pending.lock();
+        // Queue drained of our jobs; the rest are in flight on workers.
+        let mut pending = self.state.pending.lock();
         while *pending > 0 {
-            pending = locks::wait(&self.0.done, pending);
+            pending = locks::wait(&self.state.done, pending);
         }
     }
 }
@@ -254,14 +271,22 @@ pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
     let scope = Scope {
         state: Arc::new(ScopeState::new()),
         inline,
+        tag: NEXT_SCOPE_TAG.fetch_add(1, Ordering::Relaxed),
         _env: PhantomData,
     };
     if !inline {
-        pool::ensure_workers(threads - 1);
+        // `threads - 1` workers for this scope's fan-out, plus one per
+        // live detached job: long-lived jobs (server connection
+        // handlers) occupy a worker for their whole life and must not
+        // eat the batch capacity this scope was promised.
+        pool::ensure_workers(threads - 1 + pool::detached_jobs());
         env2vec_obs::metrics().counter("par_scopes_total").inc();
     }
     let result = {
-        let _completion = Completion(&scope.state);
+        let _completion = Completion {
+            state: &scope.state,
+            tag: scope.tag,
+        };
         f(&scope)
     };
     let payload = scope.state.panic.lock().take();
@@ -269,6 +294,34 @@ pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
         resume_unwind(payload);
     }
     result
+}
+
+/// Runs `f` on the pool with no join point: the call returns
+/// immediately and the job may outlive the caller (it still cannot
+/// outlive the process — workers are daemons).
+///
+/// Designed for **long-lived** jobs — server accept loops, connection
+/// handlers — which break the assumptions scopes are built on, so they
+/// get their own contract:
+///
+/// - each live detached job grows the pool by one worker, so detached
+///   jobs never consume the `threads - 1` batch capacity [`scope`]
+///   promises its caller;
+/// - scope owners never help-steal a detached job (the queue is tagged),
+///   so a short `par_map` cannot block behind an open connection;
+/// - a panic inside `f` is caught by the worker's backstop and leaves
+///   the pool (and the detached-job accounting) serviceable;
+/// - `f` executes with worker semantics: scopes opened inside it run
+///   inline, exactly like a scope job would.
+///
+/// The job's execution is wrapped in an [`env2vec_obs`] span named
+/// `name`. Returns an error only when the OS refuses both pool growth
+/// and a dedicated fallback thread — in that case `f` never runs.
+pub fn spawn_detached<F>(name: impl Into<String>, f: F) -> std::io::Result<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    pool::spawn_detached_job(name.into(), Box::new(f))
 }
 
 /// A write-once cell for collecting job results in a fixed order.
@@ -565,6 +618,131 @@ mod tests {
             let samples = env2vec_obs::metrics().snapshot();
             assert!(samples.iter().any(|s| s.name == "par_pool_workers"));
         }
+    }
+
+    /// Polls `cond` for up to ~2s; detached-job completion is
+    /// asynchronous by design, so tests wait for the accounting to
+    /// settle instead of assuming it is instant.
+    fn wait_until(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..2000 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn detached_job_runs_and_accounting_settles() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        spawn_detached("par-test/detached-once", move || {
+            tx.send(42u32).unwrap();
+        })
+        .expect("spawn_detached");
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Ok(42),
+            "detached job must run without any scope joining it"
+        );
+    }
+
+    #[test]
+    fn scopes_complete_while_detached_jobs_block() {
+        // Regression for the help-stealing protocol: a long-lived
+        // detached job sits queued/running while short scopes come and
+        // go. Before tagged stealing, a scope owner could pop the
+        // long-lived job off the shared queue and block inside
+        // `Completion::drop` until the "connection" closed; with tags it
+        // may only run its own jobs, so every scope below must finish
+        // while the blocker is still alive.
+        let release = Arc::new((TrackedMutex::new("par.test.release", false), Condvar::new()));
+        let baseline = detached_jobs();
+        for _ in 0..3 {
+            let release = Arc::clone(&release);
+            spawn_detached("par-test/blocking-conn", move || {
+                let (lock, cv) = &*release;
+                let mut open = lock.lock();
+                while !*open {
+                    open = locks::wait(cv, open);
+                }
+            })
+            .expect("spawn_detached");
+        }
+        assert!(
+            wait_until(|| detached_jobs() >= baseline + 3),
+            "detached jobs should be accounted as live"
+        );
+        with_thread_limit(4, || {
+            for round in 0..200 {
+                let out = par_map((0..16).collect(), |_, x: i64| x + round);
+                assert_eq!(out.len(), 16);
+            }
+        });
+        // Still blocked — the scopes above cannot have stolen them.
+        assert!(detached_jobs() >= baseline + 3);
+        let (lock, cv) = &*release;
+        *lock.lock() = true;
+        cv.notify_all();
+        assert!(
+            wait_until(|| detached_jobs() <= baseline),
+            "released detached jobs should drain from the accounting"
+        );
+    }
+
+    #[test]
+    fn panicking_detached_job_leaves_pool_serviceable() {
+        let baseline = detached_jobs();
+        spawn_detached("par-test/detached-boom", || panic!("detached boom"))
+            .expect("spawn_detached");
+        assert!(
+            wait_until(|| detached_jobs() <= baseline),
+            "panic must still decrement the live-detached count"
+        );
+        // The pool keeps scheduling: scopes and further detached jobs
+        // both work after the panic.
+        let after: Vec<i32> = with_thread_limit(4, || par_map(vec![1, 2, 3], |_, x| x * 2));
+        assert_eq!(after, vec![2, 4, 6]);
+        let (tx, rx) = std::sync::mpsc::channel();
+        spawn_detached("par-test/detached-after-boom", move || {
+            tx.send(7u32).unwrap();
+        })
+        .expect("spawn_detached");
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(7));
+    }
+
+    #[test]
+    fn soak_scope_reuse_with_live_server_jobs() {
+        // Server-shaped soak: a detached "accept loop" serves requests
+        // over a channel for the whole test while the main thread runs
+        // thousands of short scopes, interleaved with requests to the
+        // live job. Completion of this test at all is the assertion —
+        // the pre-tag pool could wedge a scope behind the server job.
+        let (req_tx, req_rx) = std::sync::mpsc::channel::<(u64, std::sync::mpsc::Sender<u64>)>();
+        spawn_detached("par-test/soak-server", move || {
+            while let Ok((value, reply)) = req_rx.recv() {
+                let _ = reply.send(value * 2);
+            }
+        })
+        .expect("spawn_detached");
+        with_thread_limit(2, || {
+            for round in 0..2000u64 {
+                scope(|s| {
+                    s.spawn(|| {
+                        std::hint::black_box(round);
+                    });
+                });
+                if round % 100 == 0 {
+                    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                    req_tx.send((round, reply_tx)).unwrap();
+                    assert_eq!(
+                        reply_rx.recv_timeout(std::time::Duration::from_secs(5)),
+                        Ok(round * 2)
+                    );
+                }
+            }
+        });
+        drop(req_tx);
     }
 
     #[test]

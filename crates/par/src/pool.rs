@@ -6,10 +6,27 @@
 //! their stack, and tying their lifetime to the process keeps the scope
 //! fast path allocation-only.
 //!
+//! The queue carries **tagged** jobs: every job belongs either to one
+//! fork/join scope (the scope's unique tag) or to no scope at all
+//! ([`TAG_DETACHED`], long-lived jobs submitted via
+//! [`crate::spawn_detached`]). The tag exists for the help-stealing
+//! protocol: a scope owner draining the queue while it waits may only
+//! run **its own** jobs. Before tags, the owner popped whatever was at
+//! the head — with short batch jobs only that was merely unfair, but
+//! once long-lived server jobs (connection handlers that block for the
+//! life of a connection) share the queue, a `par_map` owner could steal
+//! one and block its caller indefinitely.
+//!
+//! Long-lived jobs also get capacity accounting: each live detached job
+//! grows the pool by one worker (`detached` counter, consulted by
+//! [`crate::scope`] when it sizes the pool), so persistent servers never
+//! eat the batch capacity scopes were promised.
+//!
 //! Every worker publishes utilisation metrics into the global
 //! [`env2vec_obs`] registry: `par_jobs_total{worker=i}` (jobs executed),
-//! `par_job_seconds` (per-job service time histogram) and
-//! `par_pool_workers` (gauge of spawned workers).
+//! `par_job_seconds` (per-job service time histogram), `par_pool_workers`
+//! (gauge of spawned workers) and `par_detached_jobs` (gauge of live
+//! long-lived jobs).
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -22,6 +39,16 @@ use crate::chan::{channel, Receiver, Sender};
 /// [`crate::Scope::spawn`]; the completion latch guarantees the closure
 /// does not outlive its borrows.
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The tag of jobs that belong to no scope (long-lived detached jobs).
+/// Scope tags start at 1, so no scope owner ever steals a detached job.
+pub(crate) const TAG_DETACHED: u64 = 0;
+
+/// A queued job plus the scope it belongs to.
+pub(crate) struct QueuedJob {
+    tag: u64,
+    run: Job,
+}
 
 thread_local! {
     static IS_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -38,9 +65,13 @@ pub(crate) fn on_worker_thread() -> bool {
 }
 
 struct Pool {
-    tx: Sender<Job>,
-    rx: Receiver<Job>,
+    tx: Sender<QueuedJob>,
+    rx: Receiver<QueuedJob>,
     workers: AtomicUsize,
+    /// Workers currently executing a job (any tag).
+    busy: AtomicUsize,
+    /// Live detached jobs (queued or running).
+    detached: AtomicUsize,
 }
 
 fn pool() -> &'static Pool {
@@ -51,24 +82,33 @@ fn pool() -> &'static Pool {
             tx,
             rx,
             workers: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+            detached: AtomicUsize::new(0),
         }
     })
 }
 
-/// Enqueues a job for any worker (or a stealing scope owner) to run.
-pub(crate) fn submit(job: Job) {
-    pool().tx.send(job);
+/// Enqueues a job for any worker (or the owning scope) to run.
+pub(crate) fn submit(tag: u64, run: Job) {
+    pool().tx.send(QueuedJob { tag, run });
 }
 
-/// Pops one queued job, if any, so a blocked scope owner can help drain
-/// the queue instead of sleeping.
-pub(crate) fn try_steal() -> Option<Job> {
-    pool().rx.try_recv()
+/// Pops one queued job **belonging to scope `tag`**, if any, so a
+/// blocked scope owner can help drain its own work instead of sleeping.
+/// Jobs of other scopes — and long-lived detached jobs in particular —
+/// are left for the workers.
+pub(crate) fn try_steal_tagged(tag: u64) -> Option<Job> {
+    pool().rx.try_recv_where(|q| q.tag == tag).map(|q| q.run)
 }
 
 /// Number of workers spawned so far (for tests/diagnostics).
 pub fn spawned_workers() -> usize {
     pool().workers.load(Ordering::Relaxed)
+}
+
+/// Number of live detached jobs (queued or running).
+pub fn detached_jobs() -> usize {
+    pool().detached.load(Ordering::Relaxed)
 }
 
 /// Grows the pool to at least `target` workers.
@@ -103,7 +143,71 @@ pub(crate) fn ensure_workers(target: usize) {
     }
 }
 
-fn spawn_worker(index: usize, rx: Receiver<Job>) -> bool {
+/// Decrements the live-detached count when a detached job ends — by
+/// returning *or* by unwinding (the worker's `catch_unwind` backstop
+/// makes the panic survivable; this guard makes the accounting survive
+/// it too, so the pool keeps its capacity bookkeeping honest).
+struct DetachedLive;
+
+impl Drop for DetachedLive {
+    fn drop(&mut self) {
+        let live = pool().detached.fetch_sub(1, Ordering::Relaxed) - 1;
+        env2vec_obs::metrics()
+            .gauge("par_detached_jobs")
+            .set(live as f64);
+    }
+}
+
+/// Submits a long-lived job (see [`crate::spawn_detached`] for the
+/// public contract). Grows the pool so detached jobs never consume the
+/// batch capacity scopes size themselves against, and falls back to a
+/// dedicated thread when the OS refuses pool growth (a queued long-lived
+/// job would otherwise wait behind every other detached job forever —
+/// scope owners only steal their own tag).
+pub(crate) fn spawn_detached_job(name: String, run: Job) -> std::io::Result<()> {
+    let pool = pool();
+    let live = pool.detached.fetch_add(1, Ordering::Relaxed) + 1;
+    env2vec_obs::metrics()
+        .gauge("par_detached_jobs")
+        .set(live as f64);
+    let wrapped: Job = Box::new(move || {
+        let _live = DetachedLive;
+        let _span = env2vec_obs::collector().start(name, Vec::new());
+        run();
+    });
+    // One worker per live detached job, plus one idle worker beyond the
+    // currently busy ones so the job is picked up promptly rather than
+    // queueing behind an in-flight batch.
+    let busy = pool.busy.load(Ordering::Relaxed);
+    ensure_workers(live.max(busy + 1));
+    if pool.workers.load(Ordering::Relaxed) >= live {
+        submit(TAG_DETACHED, wrapped);
+        return Ok(());
+    }
+    // Pool growth refused: run on a dedicated thread with worker
+    // semantics (scopes opened inside it run inline, matching how the
+    // job would have behaved on a pool worker).
+    std::thread::Builder::new()
+        .name("par-detached".to_string())
+        .spawn(move || {
+            IS_WORKER.with(|w| w.set(true));
+            let _ = catch_unwind(AssertUnwindSafe(wrapped));
+        })
+        .map(|_| ())
+        .inspect_err(|_| {
+            // Neither the pool nor a fallback thread could take the job;
+            // it never runs, so it must not count as live.
+            DetachedLive.drop_now();
+        })
+}
+
+impl DetachedLive {
+    /// Explicit drop for the spawn-failure path (reads better than a
+    /// bare `drop(DetachedLive)` at the call site).
+    fn drop_now(self) {}
+}
+
+fn spawn_worker(index: usize, rx: Receiver<QueuedJob>) -> bool {
     std::thread::Builder::new()
         .name(format!("par-worker-{index}"))
         .spawn(move || {
@@ -112,16 +216,18 @@ fn spawn_worker(index: usize, rx: Receiver<Job>) -> bool {
             let jobs = env2vec_obs::metrics().counter_with("par_jobs_total", labels);
             let seconds = env2vec_obs::metrics().histogram("par_job_seconds");
             loop {
-                let job = rx.recv();
+                let queued = rx.recv();
+                pool().busy.fetch_add(1, Ordering::Relaxed);
                 // envlint: allow(wall-clock) — pool-utilisation metric only;
                 // the measured duration never feeds back into computation.
                 let start = std::time::Instant::now();
                 // Backstop: the scope wrapper already catches panics and
                 // re-raises them at the scope exit; catching here keeps a
                 // worker alive even if a raw job slips through.
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                let _ = catch_unwind(AssertUnwindSafe(queued.run));
                 seconds.observe(start.elapsed().as_secs_f64());
                 jobs.inc();
+                pool().busy.fetch_sub(1, Ordering::Relaxed);
             }
         })
         .is_ok()

@@ -1,0 +1,487 @@
+//! Request batcher: coalesces concurrent same-environment predictions.
+//!
+//! # Algorithm (leader/follower)
+//!
+//! Each environment has one queue. The first submission to find the
+//! queue leaderless appoints itself **leader**; everyone else is a
+//! **follower** that appends its rows and sleeps on a per-submission
+//! result slot. The leader holds the batch window open — a bounded
+//! `wait_timeout` on the queue's condvar — and is woken early the
+//! moment the queued row count reaches `max_rows`. It then takes the
+//! whole queue (its own rows included), clears the leader flag so the
+//! next arrival starts the *next* batch while this one computes
+//! (pipelining), runs one batched `Model::predict`, and distributes the
+//! per-row results to each submission's slot.
+//!
+//! Under no concurrency the window costs nothing beyond its timeout;
+//! under storm the window fills to `max_rows` and the wait is cut
+//! short, so the knobs trade tail latency against GEMM batch size.
+//!
+//! Batching is invisible in the outputs: `Model::predict` is
+//! row-independent, so a row's prediction does not depend on which
+//! batch carried it (asserted by `batched_rows_are_bit_identical_*`
+//! below).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
+
+use env2vec::dataframe::Dataframe;
+use env2vec_linalg::Matrix;
+use env2vec_telemetry::locks::{self, TrackedMutex, TrackedRwLock};
+
+use crate::model_cache::{CachedModel, ModelCache};
+use crate::{PredictRequest, ServeError};
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// How long a leader holds the window open for followers.
+    pub window: Duration,
+    /// Row count that closes the window early.
+    pub max_rows: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            window: Duration::from_micros(200),
+            max_rows: 256,
+        }
+    }
+}
+
+type RowResult = Result<(u64, Vec<f64>), ServeError>;
+
+/// Where a submission's results land; the submitter sleeps on `ready`.
+struct ResultSlot {
+    value: TrackedMutex<Option<RowResult>>,
+    ready: Condvar,
+}
+
+impl ResultSlot {
+    fn new() -> Self {
+        ResultSlot {
+            value: TrackedMutex::new("serve.batch.slot", None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn set(&self, result: RowResult) {
+        *self.value.lock() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> RowResult {
+        let mut value = self.value.lock();
+        loop {
+            if let Some(result) = value.take() {
+                return result;
+            }
+            value = locks::wait(&self.ready, value);
+        }
+    }
+}
+
+/// One queued submission: a whole request's rows plus its result slot.
+struct Submission {
+    request: PredictRequest,
+    slot: Arc<ResultSlot>,
+}
+
+struct QueueState {
+    pending: Vec<Submission>,
+    rows: usize,
+    has_leader: bool,
+}
+
+/// One environment's coalescing queue.
+struct EnvQueue {
+    state: TrackedMutex<QueueState>,
+    /// Wakes the leader early when `max_rows` is reached.
+    filled: Condvar,
+}
+
+impl EnvQueue {
+    fn new() -> Self {
+        EnvQueue {
+            state: TrackedMutex::new(
+                "serve.batch.queue",
+                QueueState {
+                    pending: Vec::new(),
+                    rows: 0,
+                    has_leader: false,
+                },
+            ),
+            filled: Condvar::new(),
+        }
+    }
+}
+
+/// The batcher: per-environment queues over a shared model cache.
+pub struct Batcher {
+    cache: Arc<ModelCache>,
+    opts: BatchOptions,
+    queues: TrackedRwLock<BTreeMap<String, Arc<EnvQueue>>>,
+}
+
+impl Batcher {
+    /// A batcher serving predictions from `cache`.
+    pub fn new(cache: Arc<ModelCache>, opts: BatchOptions) -> Self {
+        Batcher {
+            cache,
+            opts,
+            queues: TrackedRwLock::new("serve.batch.queues", BTreeMap::new()),
+        }
+    }
+
+    /// The model cache predictions are served from.
+    pub fn cache(&self) -> &Arc<ModelCache> {
+        &self.cache
+    }
+
+    fn queue(&self, env: &str) -> Arc<EnvQueue> {
+        if let Some(q) = self.queues.read().get(env) {
+            return Arc::clone(q);
+        }
+        let mut queues = self.queues.write();
+        Arc::clone(
+            queues
+                .entry(env.to_string())
+                .or_insert_with(|| Arc::new(EnvQueue::new())),
+        )
+    }
+
+    /// Serves one request, possibly coalesced with concurrent requests
+    /// for the same environment. Returns the model version used and one
+    /// prediction per request row, in request order.
+    pub fn predict(&self, request: PredictRequest) -> RowResult {
+        if request.rows.is_empty() {
+            return Err(ServeError::InvalidRequest("empty rows".to_string()));
+        }
+        let queue = self.queue(&request.env);
+        let env = request.env.clone();
+        let slot = Arc::new(ResultSlot::new());
+        let is_leader = {
+            let mut state = queue.state.lock();
+            state.rows += request.rows.len();
+            state.pending.push(Submission {
+                request,
+                slot: Arc::clone(&slot),
+            });
+            if state.rows >= self.opts.max_rows {
+                queue.filled.notify_all();
+            }
+            if state.has_leader {
+                false
+            } else {
+                state.has_leader = true;
+                true
+            }
+        };
+        if is_leader {
+            let batch = {
+                let mut state = queue.state.lock();
+                loop {
+                    if state.rows >= self.opts.max_rows {
+                        break;
+                    }
+                    let (reacquired, timed_out) =
+                        locks::wait_timeout(&queue.filled, state, self.opts.window);
+                    state = reacquired;
+                    if timed_out {
+                        break;
+                    }
+                }
+                let pending = std::mem::take(&mut state.pending);
+                state.rows = 0;
+                state.has_leader = false;
+                pending
+            };
+            self.execute(&env, batch);
+        }
+        slot.wait()
+    }
+
+    /// Runs one batched prediction and distributes per-submission
+    /// results.
+    fn execute(&self, env: &str, batch: Vec<Submission>) {
+        let metrics = env2vec_obs::metrics();
+        let cached = match self.cache.get(env) {
+            Ok(cached) => cached,
+            Err(e) => {
+                for submission in &batch {
+                    submission.slot.set(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        // Validate each submission against the model's shapes; invalid
+        // ones error out individually without poisoning the batch.
+        let mut valid: Vec<&Submission> = Vec::with_capacity(batch.len());
+        for submission in &batch {
+            match validate(&cached, &submission.request) {
+                Ok(()) => valid.push(submission),
+                Err(e) => submission.slot.set(Err(e)),
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        let total_rows: usize = valid.iter().map(|s| s.request.rows.len()).sum();
+        let mut cf = Vec::with_capacity(total_rows);
+        let mut history = Vec::with_capacity(total_rows);
+        let mut em = Vec::with_capacity(total_rows);
+        for submission in &valid {
+            let tuple: Vec<&str> = submission.request.em.iter().map(String::as_str).collect();
+            let encoded = cached.model.vocab().encode(&tuple);
+            for row in &submission.request.rows {
+                cf.push(row.cf.clone());
+                history.push(row.history.clone());
+                em.push(encoded.clone());
+            }
+        }
+        let frame = match (Matrix::from_rows(&cf), Matrix::from_rows(&history)) {
+            (Ok(cf), Ok(history)) => Dataframe {
+                cf,
+                history,
+                em,
+                target: vec![0.0; total_rows],
+            },
+            _ => {
+                let e = ServeError::InvalidRequest("ragged row widths".to_string());
+                for submission in &valid {
+                    submission.slot.set(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        match cached.model.predict(&frame) {
+            Ok(predictions) => {
+                metrics.counter("serve_batches_total").inc();
+                metrics
+                    .counter("serve_batched_rows_total")
+                    .inc_by(total_rows as u64);
+                if batch.len() > 1 {
+                    metrics.counter("serve_coalesced_batches_total").inc();
+                }
+                let mut offset = 0;
+                for submission in &valid {
+                    let n = submission.request.rows.len();
+                    let rows = predictions[offset..offset + n].to_vec();
+                    offset += n;
+                    submission.slot.set(Ok((cached.version, rows)));
+                }
+            }
+            Err(e) => {
+                let e = ServeError::InvalidRequest(format!("prediction failed: {e:?}"));
+                for submission in &valid {
+                    submission.slot.set(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Shape checks a request must pass before joining a batch.
+fn validate(cached: &CachedModel, request: &PredictRequest) -> Result<(), ServeError> {
+    let model = &cached.model;
+    if request.em.len() != model.vocab().num_features() {
+        return Err(ServeError::InvalidRequest(format!(
+            "em tuple has {} values, model expects {}",
+            request.em.len(),
+            model.vocab().num_features()
+        )));
+    }
+    let window = model.config.history_window;
+    let num_cf = model.num_cf();
+    for row in &request.rows {
+        if row.cf.len() != num_cf {
+            return Err(ServeError::InvalidRequest(format!(
+                "cf row has {} features, model expects {num_cf}",
+                row.cf.len()
+            )));
+        }
+        if row.history.len() != window {
+            return Err(ServeError::InvalidRequest(format!(
+                "history row has {} steps, model expects {window}",
+                row.history.len()
+            )));
+        }
+        if row.cf.iter().chain(&row.history).any(|v| !v.is_finite()) {
+            return Err(ServeError::InvalidRequest(
+                "non-finite value in row".to_string(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictRow;
+    use env2vec::config::Env2VecConfig;
+    use env2vec::model::Env2VecModel;
+    use env2vec::serialize::save_model;
+    use env2vec::vocab::EmVocabulary;
+    use env2vec_telemetry::registry::RegistryHub;
+
+    fn published_hub(env: &str) -> (Arc<RegistryHub>, Env2VecModel) {
+        let mut vocab = EmVocabulary::telecom();
+        let cf = Matrix::from_fn(30, 3, |i, j| ((i * 3 + j) % 11) as f64);
+        let ru: Vec<f64> = (0..30).map(|i| 25.0 + (i % 9) as f64).collect();
+        let df = Dataframe::from_series(&cf, &ru, &["tb", "s", "tc", "b"], 2, &mut vocab)
+            .expect("dataframe");
+        let model = Env2VecModel::new(Env2VecConfig::fast(), vocab, &df).expect("model");
+        let hub = Arc::new(RegistryHub::new());
+        hub.registry(env)
+            .publish("t", save_model(&model).into_bytes());
+        (hub, model)
+    }
+
+    fn request(env: &str, rows: Vec<PredictRow>) -> PredictRequest {
+        PredictRequest {
+            env: env.to_string(),
+            em: vec!["tb".into(), "s".into(), "tc".into(), "b".into()],
+            rows,
+        }
+    }
+
+    fn row(i: usize) -> PredictRow {
+        PredictRow {
+            cf: vec![i as f64, (i % 5) as f64, (i % 3) as f64],
+            history: vec![28.0 + (i % 4) as f64, 29.0 + (i % 6) as f64],
+        }
+    }
+
+    #[test]
+    fn single_request_predicts_through_the_batcher() {
+        let (hub, model) = published_hub("edge");
+        let batcher = Batcher::new(
+            Arc::new(ModelCache::new(hub)),
+            BatchOptions {
+                window: Duration::from_micros(50),
+                max_rows: 8,
+            },
+        );
+        let (version, preds) = batcher
+            .predict(request("edge", vec![row(0), row(1)]))
+            .expect("predict");
+        assert_eq!(version, 1);
+        assert_eq!(preds.len(), 2);
+        // Direct single-row predictions must match bit-for-bit.
+        for (i, &p) in preds.iter().enumerate() {
+            let r = row(i);
+            let df = Dataframe {
+                cf: Matrix::from_rows(std::slice::from_ref(&r.cf)).expect("cf"),
+                history: Matrix::from_rows(std::slice::from_ref(&r.history)).expect("history"),
+                em: vec![model.vocab().encode(&["tb", "s", "tc", "b"])],
+                target: vec![0.0],
+            };
+            let solo = model.predict(&df).expect("solo predict");
+            assert_eq!(solo[0].to_bits(), p.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_and_stay_bit_identical() {
+        let (hub, model) = published_hub("edge");
+        let batcher = Arc::new(Batcher::new(
+            Arc::new(ModelCache::new(hub)),
+            BatchOptions {
+                // Generous window so concurrent submitters land in one
+                // batch deterministically enough to exercise coalescing.
+                window: Duration::from_millis(50),
+                max_rows: 1024,
+            },
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let batcher = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || {
+                let rows: Vec<PredictRow> = (0..4).map(|k| row(t * 4 + k)).collect();
+                (t, batcher.predict(request("edge", rows)))
+            }));
+        }
+        for handle in handles {
+            let (t, result) = handle.join().expect("thread");
+            let (_, preds) = result.expect("predict");
+            assert_eq!(preds.len(), 4);
+            for (k, &p) in preds.iter().enumerate() {
+                let r = row(t * 4 + k);
+                let df = Dataframe {
+                    cf: Matrix::from_rows(std::slice::from_ref(&r.cf)).expect("cf"),
+                    history: Matrix::from_rows(std::slice::from_ref(&r.history)).expect("history"),
+                    em: vec![model.vocab().encode(&["tb", "s", "tc", "b"])],
+                    target: vec![0.0],
+                };
+                let solo = model.predict(&df).expect("solo predict");
+                assert_eq!(
+                    solo[0].to_bits(),
+                    p.to_bits(),
+                    "request {t} row {k}: batching changed the bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_submissions_fail_alone_without_poisoning_the_batch() {
+        let (hub, _) = published_hub("edge");
+        let batcher = Batcher::new(Arc::new(ModelCache::new(hub)), BatchOptions::default());
+        // Wrong cf width.
+        let bad = PredictRequest {
+            env: "edge".to_string(),
+            em: vec!["tb".into(), "s".into(), "tc".into(), "b".into()],
+            rows: vec![PredictRow {
+                cf: vec![1.0],
+                history: vec![1.0, 2.0],
+            }],
+        };
+        assert!(matches!(
+            batcher.predict(bad),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // Wrong em width.
+        let bad_em = PredictRequest {
+            env: "edge".to_string(),
+            em: vec!["tb".into()],
+            rows: vec![row(0)],
+        };
+        assert!(matches!(
+            batcher.predict(bad_em),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // Non-finite input.
+        let nan = PredictRequest {
+            env: "edge".to_string(),
+            em: vec!["tb".into(), "s".into(), "tc".into(), "b".into()],
+            rows: vec![PredictRow {
+                cf: vec![f64::NAN, 0.0, 0.0],
+                history: vec![1.0, 2.0],
+            }],
+        };
+        assert!(matches!(
+            batcher.predict(nan),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // Empty rows.
+        assert!(matches!(
+            batcher.predict(request("edge", Vec::new())),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // A good request still works afterwards.
+        assert!(batcher.predict(request("edge", vec![row(1)])).is_ok());
+    }
+
+    #[test]
+    fn unknown_env_is_a_404_shaped_error() {
+        let hub = Arc::new(RegistryHub::new());
+        let batcher = Batcher::new(Arc::new(ModelCache::new(hub)), BatchOptions::default());
+        assert!(matches!(
+            batcher.predict(request("nowhere", vec![row(0)])),
+            Err(ServeError::UnknownEnv(_))
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! `loadgen` — request storms against an `env2vec-serve` server.
+//!
+//! ```text
+//! loadgen --self-host [--connections N] [--requests N] [--rows N]
+//!         [--mode closed|open] [--rate R] [--window-us U] [--max-rows B]
+//! loadgen --addr HOST:PORT --env NAME [--connections N] ...
+//! ```
+//!
+//! `--self-host` trains a small model, publishes it to an in-process
+//! registry, starts the server on an ephemeral port, and storms it —
+//! a one-command demo and the shape the CI smoke test uses. With
+//! `--addr`, the storm targets an already-running server instead.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use env2vec::config::Env2VecConfig;
+use env2vec::dataframe::Dataframe;
+use env2vec::model::Env2VecModel;
+use env2vec::serialize::save_model;
+use env2vec::vocab::EmVocabulary;
+use env2vec_linalg::Matrix;
+use env2vec_serve::batch::BatchOptions;
+use env2vec_serve::loadgen::{self, LoadgenOptions, Pacing};
+use env2vec_serve::server::{Server, ServerOptions};
+use env2vec_telemetry::registry::RegistryHub;
+
+fn usage() -> &'static str {
+    "usage:\n  loadgen --self-host [--connections N] [--requests N] [--rows N] \
+     [--mode closed|open] [--rate R] [--window-us U] [--max-rows B]\n  \
+     loadgen --addr HOST:PORT --env NAME [--em a,b,c,d] [--num-cf N] [--history N] \
+     [--connections N] [--requests N] [--rows N] [--mode closed|open] [--rate R]"
+}
+
+const BOOLEAN_FLAGS: [&str; 1] = ["self-host"];
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key}: bad value '{raw}'")),
+        None => Ok(default),
+    }
+}
+
+/// The small in-process model `--self-host` serves.
+fn self_host_model() -> Result<Env2VecModel, String> {
+    let mut vocab = EmVocabulary::telecom();
+    let cf = Matrix::from_fn(60, 3, |i, j| ((i * 3 + j) % 11) as f64);
+    let ru: Vec<f64> = (0..60).map(|i| 25.0 + (i % 9) as f64).collect();
+    let df = Dataframe::from_series(&cf, &ru, &["tb", "s", "tc", "b"], 2, &mut vocab)
+        .map_err(|e| format!("dataframe: {e:?}"))?;
+    Env2VecModel::new(Env2VecConfig::fast(), vocab, &df).map_err(|e| format!("model: {e:?}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args)?;
+    let connections = numeric(&flags, "connections", 4usize)?;
+    let requests = numeric(&flags, "requests", 200usize)?;
+    let rows = numeric(&flags, "rows", 32usize)?;
+    let pacing = match flags.get("mode").map(String::as_str) {
+        None | Some("closed") => Pacing::ClosedLoop,
+        Some("open") => Pacing::OpenLoop {
+            rate: numeric(&flags, "rate", 500.0f64)?,
+        },
+        Some(other) => return Err(format!("--mode: '{other}' (expected closed|open)")),
+    };
+
+    // Self-hosted server, if requested; kept alive for the storm.
+    let hosted: Option<Server>;
+    let (addr, env, em, num_cf, history_window) = if flags.contains_key("self-host") {
+        let model = self_host_model()?;
+        let hub = Arc::new(RegistryHub::new());
+        hub.registry("selfhost")
+            .publish("loadgen", save_model(&model).into_bytes());
+        let server = Server::start(
+            hub,
+            ServerOptions {
+                addr: "127.0.0.1:0".parse().map_err(|_| "addr".to_string())?,
+                batch: BatchOptions {
+                    window: Duration::from_micros(numeric(&flags, "window-us", 200u64)?),
+                    max_rows: numeric(&flags, "max-rows", 256usize)?,
+                },
+            },
+        )
+        .map_err(|e| format!("server start: {e}"))?;
+        let addr = server.addr();
+        hosted = Some(server);
+        (
+            addr,
+            "selfhost".to_string(),
+            vec!["tb".into(), "s".into(), "tc".into(), "b".into()],
+            3,
+            2,
+        )
+    } else {
+        hosted = None;
+        let addr = flags
+            .get("addr")
+            .ok_or_else(|| format!("--addr or --self-host required\n{}", usage()))?
+            .parse()
+            .map_err(|_| "--addr: bad HOST:PORT".to_string())?;
+        let env = flags
+            .get("env")
+            .ok_or_else(|| "--env required with --addr".to_string())?
+            .clone();
+        let em: Vec<String> = flags
+            .get("em")
+            .map(|s| s.split(',').map(str::to_string).collect())
+            .unwrap_or_else(|| vec!["tb".into(), "s".into(), "tc".into(), "b".into()]);
+        (
+            addr,
+            env,
+            em,
+            numeric(&flags, "num-cf", 3usize)?,
+            numeric(&flags, "history", 2usize)?,
+        )
+    };
+
+    let report = loadgen::run(&LoadgenOptions {
+        addr,
+        env,
+        em,
+        connections,
+        requests_per_connection: requests,
+        rows_per_request: rows,
+        num_cf,
+        history_window,
+        pacing,
+    });
+    if let Some(server) = &hosted {
+        server.shutdown();
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    );
+    if report.errors > 0 {
+        return Err(format!("{} requests failed", report.errors));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Load generation against a running server.
+//!
+//! Two storm shapes:
+//!
+//! - **closed-loop** — each connection fires its next request the moment
+//!   the previous response lands; measures peak sustainable throughput.
+//! - **open-loop** — requests are released on a fixed schedule whether
+//!   or not earlier ones have completed, and latency is measured from
+//!   the *scheduled* send time, so a stalling server inflates the tail
+//!   instead of silently slowing the generator (no coordinated
+//!   omission).
+//!
+//! Payloads are deterministic functions of the request index — no RNG —
+//! so any storm row can be re-predicted solo and compared bit-for-bit
+//! against what the server returned.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use env2vec_obs::metrics::Histogram;
+use serde::Serialize;
+
+use crate::http::{self, HttpConn, Response};
+use crate::{PredictRequest, PredictResponse, PredictRow};
+
+/// Storm pacing.
+#[derive(Debug, Clone, Copy)]
+pub enum Pacing {
+    /// Back-to-back requests per connection.
+    ClosedLoop,
+    /// Fixed aggregate request rate (requests/second) across all
+    /// connections.
+    OpenLoop {
+        /// Aggregate request release rate, requests per second.
+        rate: f64,
+    },
+}
+
+/// Storm configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Environment to predict for.
+    pub env: String,
+    /// EM tuple sent with every request.
+    pub em: Vec<String>,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_connection: usize,
+    /// Rows packed into each request.
+    pub rows_per_request: usize,
+    /// Width of each cf row (must match the served model).
+    pub num_cf: usize,
+    /// Width of each history row (must match the served model).
+    pub history_window: usize,
+    /// Closed- or open-loop release schedule.
+    pub pacing: Pacing,
+}
+
+/// Storm result.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Requests that completed with HTTP 200.
+    pub requests: u64,
+    /// Total predicted rows across successful requests.
+    pub predictions: u64,
+    /// Requests that failed (non-200, transport error, or bad body).
+    pub errors: u64,
+    /// Wall-clock storm duration in seconds.
+    pub elapsed_secs: f64,
+    /// Successful predicted rows per second.
+    pub predictions_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The deterministic row a given global row index maps to. Shared with
+/// the bench golden-row check: re-predicting this row solo must be
+/// bit-identical to the storm's batched answer.
+pub fn deterministic_row(index: usize, num_cf: usize, history_window: usize) -> PredictRow {
+    PredictRow {
+        cf: (0..num_cf)
+            .map(|f| ((index * 7 + f * 3) % 13) as f64)
+            .collect(),
+        history: (0..history_window)
+            .map(|s| 25.0 + ((index * 5 + s) % 11) as f64)
+            .collect(),
+    }
+}
+
+/// The deterministic request a given (connection, sequence) pair sends.
+pub fn deterministic_request(
+    opts: &LoadgenOptions,
+    connection: usize,
+    sequence: usize,
+) -> PredictRequest {
+    let base = (connection * opts.requests_per_connection + sequence) * opts.rows_per_request;
+    PredictRequest {
+        env: opts.env.clone(),
+        em: opts.em.clone(),
+        rows: (0..opts.rows_per_request)
+            .map(|r| deterministic_row(base + r, opts.num_cf, opts.history_window))
+            .collect(),
+    }
+}
+
+struct ConnOutcome {
+    requests: u64,
+    predictions: u64,
+    errors: u64,
+    latencies: Histogram,
+}
+
+/// Runs the storm to completion and reports aggregate throughput and
+/// client-observed latency quantiles.
+pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
+    let started = Instant::now();
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|c| scope.spawn(move || run_connection(opts, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(ConnOutcome {
+                    requests: 0,
+                    predictions: 0,
+                    errors: 1,
+                    latencies: Histogram::durations(),
+                })
+            })
+            .collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64().max(1e-9);
+
+    // Merge per-connection histograms into one (and mirror it into the
+    // global registry for self-scraping into the TSDB).
+    let merged = Histogram::durations();
+    let global = env2vec_obs::metrics().histogram("loadgen_request_seconds");
+    let mut requests = 0;
+    let mut predictions = 0;
+    let mut errors = 0;
+    for outcome in &outcomes {
+        requests += outcome.requests;
+        predictions += outcome.predictions;
+        errors += outcome.errors;
+        let counts = outcome.latencies.bucket_counts();
+        let bounds = outcome.latencies.bounds();
+        for (i, &n) in counts.iter().enumerate() {
+            // Re-observe a representative value per bucket; quantile
+            // resolution is bucket-bounded anyway.
+            let value = if i < bounds.len() { bounds[i] } else { 1e4 };
+            for _ in 0..n {
+                merged.observe(value);
+                global.observe(value);
+            }
+        }
+    }
+    LoadgenReport {
+        requests,
+        predictions,
+        errors,
+        elapsed_secs,
+        predictions_per_sec: predictions as f64 / elapsed_secs,
+        p50_ms: merged.quantile(0.50) * 1e3,
+        p95_ms: merged.quantile(0.95) * 1e3,
+        p99_ms: merged.quantile(0.99) * 1e3,
+    }
+}
+
+fn run_connection(opts: &LoadgenOptions, connection: usize) -> ConnOutcome {
+    let mut outcome = ConnOutcome {
+        requests: 0,
+        predictions: 0,
+        errors: 0,
+        latencies: Histogram::durations(),
+    };
+    let stream = match TcpStream::connect(opts.addr) {
+        Ok(stream) => stream,
+        Err(_) => {
+            outcome.errors += opts.requests_per_connection as u64;
+            return outcome;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut conn = HttpConn::new(stream);
+    // Open-loop: this connection releases requests every
+    // `connections / rate` seconds, offset by its index so the
+    // aggregate schedule is evenly interleaved.
+    let interval = match opts.pacing {
+        Pacing::ClosedLoop => None,
+        Pacing::OpenLoop { rate } => {
+            let per_conn = rate / opts.connections.max(1) as f64;
+            Some(Duration::from_secs_f64(1.0 / per_conn.max(1e-6)))
+        }
+    };
+    let schedule_start = Instant::now();
+    for sequence in 0..opts.requests_per_connection {
+        let scheduled = interval.map(|step| {
+            let target = schedule_start
+                + step.mul_f64(sequence as f64)
+                + step.mul_f64(connection as f64 / opts.connections.max(1) as f64);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            target
+        });
+        let request = deterministic_request(opts, connection, sequence);
+        let body = match serde_json::to_string(&request) {
+            Ok(body) => body,
+            Err(_) => {
+                outcome.errors += 1;
+                continue;
+            }
+        };
+        // Latency clock starts at the *scheduled* release for open-loop
+        // storms, at the actual send for closed-loop.
+        let sent = Instant::now();
+        let started = scheduled.unwrap_or(sent);
+        match exchange(&mut conn, &body) {
+            Ok(response) if response.status == 200 => {
+                match std::str::from_utf8(&response.body)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<PredictResponse>(text).ok())
+                {
+                    Some(parsed) => {
+                        outcome.requests += 1;
+                        outcome.predictions += parsed.predictions.len() as u64;
+                        outcome.latencies.observe(started.elapsed().as_secs_f64());
+                    }
+                    None => outcome.errors += 1,
+                }
+            }
+            Ok(_) => outcome.errors += 1,
+            Err(_) => {
+                // Transport error: the connection is unusable; count the
+                // remaining schedule as failed.
+                outcome.errors += (opts.requests_per_connection - sequence) as u64;
+                return outcome;
+            }
+        }
+    }
+    outcome
+}
+
+fn exchange(
+    conn: &mut HttpConn<TcpStream>,
+    body: &str,
+) -> Result<Response, crate::http::HttpError> {
+    let head = format!(
+        "POST /predict HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.get_mut()
+        .write_all(head.as_bytes())
+        .and_then(|_| conn.get_mut().write_all(body.as_bytes()))
+        .and_then(|_| conn.get_mut().flush())
+        .map_err(http::HttpError::Io)?;
+    conn.read_response()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_payloads_are_reproducible() {
+        let opts = LoadgenOptions {
+            addr: "127.0.0.1:1".parse().expect("addr"),
+            env: "edge".to_string(),
+            em: vec!["tb".into()],
+            connections: 4,
+            requests_per_connection: 8,
+            rows_per_request: 3,
+            num_cf: 3,
+            history_window: 2,
+            pacing: Pacing::ClosedLoop,
+        };
+        let a = deterministic_request(&opts, 2, 5);
+        let b = deterministic_request(&opts, 2, 5);
+        assert_eq!(a.rows.len(), 3);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.cf, rb.cf);
+            assert_eq!(ra.history, rb.history);
+        }
+        // Distinct (connection, sequence) pairs produce distinct rows.
+        let c = deterministic_request(&opts, 3, 5);
+        assert_ne!(a.rows[0].cf, c.rows[0].cf);
+    }
+}

@@ -1,0 +1,321 @@
+//! TCP accept loop and per-connection handlers.
+//!
+//! The listener runs non-blocking and is polled from one detached `par`
+//! job; each accepted connection becomes its own detached job (the
+//! pool's detached-capacity accounting keeps scoped training/bench work
+//! runnable while connections sit open). Handlers use a short socket
+//! read timeout so a quiet keep-alive connection re-checks the shutdown
+//! flag every ~50 ms instead of blocking forever.
+//!
+//! Routes: `POST /predict` (batched inference), `GET /metrics`
+//! (Prometheus text format), `GET /healthz`.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use env2vec_telemetry::registry::RegistryHub;
+
+use crate::batch::{BatchOptions, Batcher};
+use crate::http::{self, HttpConn, HttpError, ReadOutcome, Request};
+use crate::model_cache::ModelCache;
+use crate::{ErrorResponse, PredictRequest, PredictResponse};
+
+/// How long a connection read blocks before re-checking shutdown.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// Accept-loop sleep when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Batching knobs forwarded to the [`Batcher`].
+    pub batch: BatchOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            batch: BatchOptions::default(),
+        }
+    }
+}
+
+/// Shared server state.
+struct Inner {
+    batcher: Batcher,
+    shutdown: AtomicBool,
+    /// Accept loop has fully exited.
+    stopped: AtomicBool,
+    open_connections: AtomicUsize,
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds and starts serving `hub` in the background. Returns once
+    /// the listener is accepting.
+    pub fn start(hub: Arc<RegistryHub>, opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            batcher: Batcher::new(Arc::new(ModelCache::new(hub)), opts.batch),
+            shutdown: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+        });
+        let loop_inner = Arc::clone(&inner);
+        env2vec_par::spawn_detached(format!("serve-accept:{addr}"), move || {
+            accept_loop(listener, loop_inner);
+        })?;
+        Ok(Server { addr, inner })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The batcher (for direct in-process predictions in tests/bench).
+    pub fn batcher(&self) -> &Batcher {
+        &self.inner.batcher
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> usize {
+        self.inner.open_connections.load(Ordering::Acquire)
+    }
+
+    /// Signals shutdown and waits (bounded) for the accept loop and all
+    /// connection handlers to wind down.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Accept loop notices within ACCEPT_POLL; handlers within
+        // READ_POLL. 100 polls ≫ both, so a hang here means a bug.
+        for _ in 0..100 {
+            if self.inner.stopped.load(Ordering::Acquire)
+                && self.inner.open_connections.load(Ordering::Acquire) == 0
+            {
+                return;
+            }
+            std::thread::sleep(READ_POLL);
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let metrics = env2vec_obs::metrics();
+    while !inner.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                metrics.counter("serve_connections_total").inc();
+                let conn_inner = Arc::clone(&inner);
+                let spawned = env2vec_par::spawn_detached("serve-conn", move || {
+                    handle_connection(stream, conn_inner);
+                });
+                if spawned.is_err() {
+                    metrics.counter("serve_accept_errors_total").inc();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                metrics.counter("serve_accept_errors_total").inc();
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+    inner.stopped.store(true, Ordering::Release);
+}
+
+/// Decrements the open-connection count even if the handler errors out.
+struct ConnGuard(Arc<Inner>);
+
+impl ConnGuard {
+    fn new(inner: Arc<Inner>) -> Self {
+        let open = inner.open_connections.fetch_add(1, Ordering::AcqRel) + 1;
+        env2vec_obs::metrics()
+            .gauge("serve_open_connections")
+            .set(open as f64);
+        ConnGuard(inner)
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        let open = self.0.open_connections.fetch_sub(1, Ordering::AcqRel) - 1;
+        env2vec_obs::metrics()
+            .gauge("serve_open_connections")
+            .set(open as f64);
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
+    let _guard = ConnGuard::new(Arc::clone(&inner));
+    // Responses are latency-sensitive and already coalesced into one
+    // write; never let Nagle hold them back.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let metrics = env2vec_obs::metrics();
+    let mut conn = HttpConn::new(stream);
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match conn.read_request() {
+            Ok(ReadOutcome::Request(request)) => {
+                let started = Instant::now();
+                let keep_alive = match respond(&mut conn, &request, &inner) {
+                    Ok(keep_alive) => keep_alive,
+                    Err(_) => return,
+                };
+                metrics
+                    .histogram("serve_request_seconds")
+                    .observe(started.elapsed().as_secs_f64());
+                metrics.counter("serve_requests_total").inc();
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            // Quiet keep-alive connection: poll again (and re-check
+            // shutdown). A timeout mid-request is a stalled client.
+            Err(HttpError::Timeout { idle: true }) => continue,
+            Err(HttpError::Timeout { idle: false }) => {
+                metrics.counter("serve_errors_total").inc();
+                return;
+            }
+            Err(HttpError::BadRequest(what)) => {
+                metrics.counter("serve_errors_total").inc();
+                let _ = write_error(&mut conn, 400, what);
+                return;
+            }
+            Err(HttpError::PayloadTooLarge) => {
+                metrics.counter("serve_errors_total").inc();
+                let _ = write_error(&mut conn, 413, "payload too large");
+                return;
+            }
+            Err(HttpError::Disconnected) | Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+fn write_error(conn: &mut HttpConn<TcpStream>, status: u16, error: &str) -> std::io::Result<()> {
+    let body = serde_json::to_string(&ErrorResponse {
+        error: error.to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+    http::write_response(
+        conn.get_mut(),
+        status,
+        "application/json",
+        body.as_bytes(),
+        false,
+    )
+}
+
+/// Routes one request and writes its response. Returns whether the
+/// connection stays open.
+fn respond(
+    conn: &mut HttpConn<TcpStream>,
+    request: &Request,
+    inner: &Inner,
+) -> std::io::Result<bool> {
+    let keep_alive = request.keep_alive;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => {
+            let (status, body) = predict_response(&inner.batcher, &request.body);
+            http::write_response(
+                conn.get_mut(),
+                status,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+        }
+        ("GET", "/metrics") => {
+            let body = env2vec_obs::prometheus::render(env2vec_obs::metrics());
+            http::write_response(
+                conn.get_mut(),
+                200,
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+        }
+        ("GET", "/healthz") => {
+            http::write_response(conn.get_mut(), 200, "text/plain", b"ok\n", keep_alive)?;
+        }
+        (_, "/predict") | (_, "/metrics") | (_, "/healthz") => {
+            env2vec_obs::metrics().counter("serve_errors_total").inc();
+            let body = error_body("method not allowed");
+            http::write_response(
+                conn.get_mut(),
+                405,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+        }
+        _ => {
+            env2vec_obs::metrics().counter("serve_errors_total").inc();
+            let body = error_body("no such route");
+            http::write_response(
+                conn.get_mut(),
+                404,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+        }
+    }
+    Ok(keep_alive)
+}
+
+fn error_body(error: &str) -> String {
+    serde_json::to_string(&ErrorResponse {
+        error: error.to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string())
+}
+
+/// Parses, batches, and serialises one `/predict` call.
+fn predict_response(batcher: &Batcher, body: &[u8]) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("body is not UTF-8")),
+    };
+    let request: PredictRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => return (400, error_body(&format!("malformed JSON: {e}"))),
+    };
+    match batcher.predict(request) {
+        Ok((model_version, predictions)) => {
+            let response = PredictResponse {
+                model_version,
+                predictions,
+            };
+            match serde_json::to_string(&response) {
+                Ok(body) => (200, body),
+                Err(_) => (500, error_body("serialisation failed")),
+            }
+        }
+        Err(e) => {
+            env2vec_obs::metrics().counter("serve_errors_total").inc();
+            (e.status(), error_body(&e.to_string()))
+        }
+    }
+}

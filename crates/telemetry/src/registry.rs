@@ -6,8 +6,31 @@
 //! serialised model blobs here; prediction pipelines fetch the latest
 //! version. Blobs are opaque bytes so the registry does not depend on any
 //! model crate.
+//!
+//! # Concurrency
+//!
+//! The registry is append-only under a [`TrackedRwLock`]. Version
+//! numbers are assigned *inside* the write critical section (`len + 1`
+//! under the write guard) — never by a separate atomic counter — so
+//! they are dense, gapless, and each version's entry is in the vector
+//! before any thread can learn its number.
+//!
+//! [`ModelRegistry::latest_version`] is the lock-free fast path the
+//! serving hot loop probes on every request to decide whether its
+//! cached, deserialised model is stale. The counter is stored with
+//! `Release` ordering while the write guard is still held and read with
+//! `Acquire`; together with the guard's own release fence that
+//! guarantees a reader who observes version `v` will find `get(v)`
+//! populated — no torn or forward-dated reads, which is exactly the
+//! read-modify-write hazard a detached `fetch_add` counter would have
+//! introduced (counter bumped before the push is visible). The threaded
+//! stress test below hammers that invariant from concurrent publishers
+//! and readers.
 
-use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::locks::TrackedRwLock;
 
 /// One published model version.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,9 +44,21 @@ pub struct ModelVersion {
 }
 
 /// Concurrent, append-only model registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
-    inner: RwLock<Vec<ModelVersion>>,
+    inner: TrackedRwLock<Vec<ModelVersion>>,
+    /// Version of the most recent fully-published entry; 0 when empty.
+    /// Written only under the `inner` write guard.
+    latest: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry {
+            inner: TrackedRwLock::new("telemetry.registry.versions", Vec::new()),
+            latest: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ModelRegistry {
@@ -41,7 +76,22 @@ impl ModelRegistry {
             tag: tag.into(),
             blob,
         });
+        // Advertise the new version only after the push, still under the
+        // write guard: any reader that Acquire-loads `version` is
+        // guaranteed to find `get(version)` populated.
+        self.latest.store(version, Ordering::Release);
         version
+    }
+
+    /// The newest published version number without taking the lock — the
+    /// per-request staleness probe for serving caches. Returns 0 when
+    /// nothing has been published.
+    ///
+    /// Guaranteed torn-free and never ahead of the data: a non-zero
+    /// return `v` means `get(v)` succeeds (see the module docs for the
+    /// ordering argument).
+    pub fn latest_version(&self) -> u64 {
+        self.latest.load(Ordering::Acquire)
     }
 
     /// The most recently published model, if any (the "fetch latest" of
@@ -70,6 +120,54 @@ impl ModelRegistry {
     }
 }
 
+/// A set of named per-environment registries — the serving tier's view
+/// of the training pipeline, one [`ModelRegistry`] per environment
+/// (§2: "one model is trained per environment").
+#[derive(Debug)]
+pub struct RegistryHub {
+    inner: TrackedRwLock<std::collections::BTreeMap<String, Arc<ModelRegistry>>>,
+}
+
+impl Default for RegistryHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegistryHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        RegistryHub {
+            inner: TrackedRwLock::new("telemetry.registry.hub", std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// The registry for `env`, created empty on first use.
+    pub fn registry(&self, env: &str) -> Arc<ModelRegistry> {
+        if let Some(reg) = self.inner.read().get(env) {
+            return Arc::clone(reg);
+        }
+        let mut inner = self.inner.write();
+        // Double-check: another thread may have created it between the
+        // read and write acquisitions.
+        Arc::clone(
+            inner
+                .entry(env.to_string())
+                .or_insert_with(|| Arc::new(ModelRegistry::new())),
+        )
+    }
+
+    /// The registry for `env` if one exists, without creating it.
+    pub fn get(&self, env: &str) -> Option<Arc<ModelRegistry>> {
+        self.inner.read().get(env).map(Arc::clone)
+    }
+
+    /// All environment names with a registry, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,9 +177,11 @@ mod tests {
         let reg = ModelRegistry::new();
         assert!(reg.latest().is_none());
         assert!(reg.is_empty());
+        assert_eq!(reg.latest_version(), 0);
         let v1 = reg.publish("2020-04-27", vec![1, 2, 3]);
         let v2 = reg.publish("2020-04-28", vec![4, 5]);
         assert_eq!((v1, v2), (1, 2));
+        assert_eq!(reg.latest_version(), 2);
         let latest = reg.latest().unwrap();
         assert_eq!(latest.version, 2);
         assert_eq!(latest.blob, vec![4, 5]);
@@ -102,7 +202,6 @@ mod tests {
 
     #[test]
     fn concurrent_publishes_get_distinct_versions() {
-        use std::sync::Arc;
         let reg = Arc::new(ModelRegistry::new());
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -118,5 +217,85 @@ mod tests {
         }
         assert_eq!(reg.len(), 200);
         assert_eq!(reg.latest().unwrap().version, 200);
+        assert_eq!(reg.latest_version(), 200);
+    }
+
+    #[test]
+    fn latest_version_is_never_torn_or_ahead_of_the_data() {
+        // The publish-while-fetch stress: publishers append (the blob
+        // encodes the version so a fetched entry is self-checking) while
+        // readers spin on the lock-free probe. Every reader asserts the
+        // two invariants the serving cache depends on: a version the
+        // probe advertises is always fetchable, and the probe never goes
+        // backwards.
+        let reg = Arc::new(ModelRegistry::new());
+        let mut handles = Vec::new();
+        for p in 0..2u64 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let v = reg.publish(format!("p{p}-{i}"), Vec::new());
+                    // Self-check on the writer side too: our own publish
+                    // must be visible to the probe immediately.
+                    assert!(reg.latest_version() >= v);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..2000 {
+                    let v = reg.latest_version();
+                    assert!(v >= last, "probe went backwards: {v} < {last}");
+                    last = v;
+                    if v > 0 {
+                        let fetched = reg
+                            .get(v)
+                            .unwrap_or_else(|| panic!("advertised version {v} not fetchable"));
+                        assert_eq!(fetched.version, v);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.latest_version(), 1000);
+    }
+
+    #[test]
+    fn hub_creates_one_registry_per_env() {
+        let hub = RegistryHub::new();
+        assert!(hub.get("edge-a").is_none());
+        let a = hub.registry("edge-a");
+        let a2 = hub.registry("edge-a");
+        assert!(Arc::ptr_eq(&a, &a2), "same env must share one registry");
+        a.publish("t", vec![9]);
+        assert_eq!(hub.get("edge-a").unwrap().latest_version(), 1);
+        hub.registry("edge-b");
+        assert_eq!(hub.names(), vec!["edge-a", "edge-b"]);
+    }
+
+    #[test]
+    fn hub_get_or_create_is_race_free() {
+        let hub = Arc::new(RegistryHub::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let hub = Arc::clone(&hub);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let reg = hub.registry(&format!("env-{}", i % 5));
+                    reg.publish("t", Vec::new());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every publish landed in one of exactly 5 shared registries.
+        let total: usize = hub.names().iter().map(|n| hub.get(n).unwrap().len()).sum();
+        assert_eq!(hub.names().len(), 5);
+        assert_eq!(total, 200);
     }
 }

@@ -168,6 +168,9 @@ fn storm_options(
         num_cf: NUM_CF,
         history_window: HISTORY_WINDOW,
         pacing,
+        // The bench storms run untraced: golden output must stay
+        // bit-identical whether or not tracing exists at all.
+        trace_every: None,
     }
 }
 
@@ -210,6 +213,7 @@ pub fn run_with_summary(opts: &EvalOptions) -> Result<(String, ServeOpsSummary),
                 window: Duration::from_micros(200),
                 max_rows: 256,
             },
+            trace: env2vec_serve::trace_store::TraceBufferConfig::default(),
         },
     )
     .map_err(|_| fail("server failed to start"))?;

@@ -233,6 +233,9 @@ pub fn serve(model_json: &str, env: &str, addr: &str) -> Result<env2vec_serve::s
             .parse()
             .map_err(|_| CliError(format!("--addr: bad HOST:PORT '{addr}'")))?,
         batch: env2vec_serve::batch::BatchOptions::default(),
+        // Slow/error tail-sampling only; head sampling stays off until
+        // a client stamps `traceparent` headers.
+        trace: env2vec_serve::trace_store::TraceBufferConfig::default(),
     };
     env2vec_serve::server::Server::start(hub, opts)
         .map_err(|e| CliError(format!("server failed to start: {e}")))

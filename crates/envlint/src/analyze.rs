@@ -610,7 +610,7 @@ fn lib() { b.unwrap(); }
             rules_at(&f),
             vec![("wall-clock", 1), ("wall-clock", 1), ("wall-clock", 1)]
         );
-        assert!(lint_source("a.rs", "obs", src).is_empty());
+        assert!(lint_source("a.rs", "serve", src).is_empty());
     }
 
     #[test]

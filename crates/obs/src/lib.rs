@@ -7,7 +7,12 @@
 //!   wall-time regions with per-thread nesting, exportable as Chrome
 //!   trace format (open in `chrome://tracing` / Perfetto) or JSONL.
 //! - **Metrics** ([`metrics`]): counters, gauges, and log-bucket
-//!   histograms in a label-aware registry, Prometheus-style.
+//!   histograms in a label-aware registry, Prometheus-style. Histograms
+//!   optionally carry OpenMetrics **exemplars** — the last sampled trace
+//!   id per bucket — linking a latency bucket to a concrete request.
+//! - **Trace context** ([`trace`]): W3C `traceparent` parse/format and
+//!   deterministic id generation for request-scoped tracing across the
+//!   serve stack.
 //! - **Self-scrape** ([`scrape`]): snapshots of the registry are
 //!   persisted into the repo's own [`env2vec_telemetry::TimeSeriesDb`] —
 //!   the same TSDB the pipeline uses for VNF telemetry — so the
@@ -29,15 +34,17 @@ pub mod metrics;
 pub mod prometheus;
 pub mod scrape;
 pub mod span;
+pub mod trace;
 pub mod tsdb;
 
 pub use logging::{set_verbose, verbose};
 pub use metrics::{
-    quantile_from_cumulative, Counter, Gauge, Histogram, LabelSet, MetricSample, MetricValue,
-    MetricsRegistry,
+    quantile_from_cumulative, Counter, Exemplar, Gauge, Histogram, LabelSet, MetricSample,
+    MetricValue, MetricsRegistry,
 };
 pub use scrape::{scrape_into, scrape_into_with};
 pub use span::{SpanCollector, SpanGuard, SpanRecord};
+pub use trace::TraceContext;
 
 /// The process-wide metrics registry.
 pub fn metrics() -> &'static MetricsRegistry {

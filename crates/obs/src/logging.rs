@@ -22,6 +22,8 @@ pub fn verbose() -> bool {
 }
 
 fn now_ms() -> u128 {
+    // envlint: allow(wall-clock) — log-line timestamps only; never fed
+    // back into model numerics or stored samples.
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis())

@@ -12,10 +12,23 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use env2vec_telemetry::locks::TrackedRwLock;
+use env2vec_telemetry::locks::{TrackedMutex, TrackedRwLock};
 pub use env2vec_telemetry::LabelSet;
+
+use crate::trace::TraceContext;
+
+/// One OpenMetrics exemplar: the last sampled observation that landed in
+/// a histogram bucket, tagged with the trace that produced it — the
+/// bridge from "p99 is slow" to "this specific request was slow".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the sampled request.
+    pub trace_id: u128,
+    /// The observed value itself (inside the bucket's range).
+    pub value: f64,
+}
 
 /// Monotonically increasing count.
 #[derive(Debug, Default)]
@@ -75,6 +88,12 @@ pub struct Histogram {
     /// Sum of observed values (f64 bits, CAS-updated).
     sum_bits: AtomicU64,
     count: AtomicU64,
+    /// Per-bucket exemplar slots, allocated lazily on the first traced
+    /// observation so untraced histograms pay nothing. Each slot is
+    /// locked only when a *sampled* observation lands in its bucket —
+    /// rare by construction (1-in-N sampling) — so the hot `observe`
+    /// path stays lock-free.
+    exemplars: OnceLock<Vec<TrackedMutex<Option<Exemplar>>>>,
 }
 
 impl Histogram {
@@ -93,6 +112,7 @@ impl Histogram {
             counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
             count: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
     }
 
@@ -135,6 +155,37 @@ impl Histogram {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
+        }
+    }
+
+    /// Records one observation and, when `trace` is a sampled context,
+    /// retains it as the bucket's exemplar. Untraced and unsampled calls
+    /// are exactly [`Histogram::observe`] — no lock, no allocation.
+    pub fn observe_traced(&self, value: f64, trace: Option<&TraceContext>) {
+        self.observe(value);
+        if let Some(ctx) = trace {
+            if ctx.sampled {
+                let idx = self.bounds.partition_point(|&b| b < value);
+                let slots = self.exemplars.get_or_init(|| {
+                    (0..self.bounds.len() + 1)
+                        .map(|_| TrackedMutex::new("obs.metrics.exemplar", None))
+                        .collect()
+                });
+                *slots[idx].lock() = Some(Exemplar {
+                    trace_id: ctx.trace_id,
+                    value,
+                });
+            }
+        }
+    }
+
+    /// Snapshot of the per-bucket exemplars (`bounds().len() + 1` slots,
+    /// last is `+Inf`), or an empty vec when no traced observation has
+    /// ever landed here.
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        match self.exemplars.get() {
+            Some(slots) => slots.iter().map(|s| *s.lock()).collect(),
+            None => Vec::new(),
         }
     }
 
@@ -273,6 +324,9 @@ pub enum MetricValue {
         sum: f64,
         /// Number of observations.
         count: u64,
+        /// Per-bucket exemplars (one slot per cumulative entry), or
+        /// empty when the histogram has never seen a traced observation.
+        exemplars: Vec<Option<Exemplar>>,
     },
 }
 
@@ -399,6 +453,25 @@ impl MetricsRegistry {
         )
     }
 
+    /// Histogram over custom `bounds` (e.g. row counts rather than
+    /// durations) with no labels. The bounds only apply on first
+    /// registration; later calls return the existing series regardless.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as another kind, or if
+    /// `bounds` is empty / not strictly ascending on first registration.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            LabelSet::new(),
+            || Metric::Histogram(Arc::new(Histogram::with_bounds(bounds))),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
     /// Number of registered metric handles (series).
     pub fn len(&self) -> usize {
         self.metrics.read().len()
@@ -427,6 +500,7 @@ impl MetricsRegistry {
                         cumulative: h.cumulative_counts(),
                         sum: h.sum(),
                         count: h.count(),
+                        exemplars: h.exemplars(),
                     },
                 },
             })
@@ -660,5 +734,104 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn untraced_and_unsampled_observations_leave_no_exemplars() {
+        let h = Histogram::durations();
+        h.observe(0.5);
+        h.observe_traced(0.5, None);
+        let quiet = TraceContext::from_seed(1, false);
+        h.observe_traced(0.5, Some(&quiet));
+        assert!(h.exemplars().is_empty(), "no sampled trace, no exemplars");
+        assert_eq!(h.count(), 3, "every path still counts the observation");
+    }
+
+    #[test]
+    fn sampled_observation_lands_an_exemplar_in_its_bucket() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        let ctx = TraceContext::from_seed(7, true);
+        h.observe_traced(1.5, Some(&ctx));
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 4, "one slot per bucket incl. +Inf");
+        let hit = ex[1].expect("exemplar in the (1, 2] bucket");
+        assert_eq!(hit.trace_id, ctx.trace_id);
+        assert_eq!(hit.value, 1.5);
+        assert!(ex[0].is_none() && ex[2].is_none() && ex[3].is_none());
+        // A later sampled observation in the same bucket replaces it.
+        let ctx2 = TraceContext::from_seed(8, true);
+        h.observe_traced(2.0, Some(&ctx2));
+        assert_eq!(h.exemplars()[1].expect("replaced").trace_id, ctx2.trace_id);
+        // The snapshot carries the exemplars through.
+        let reg = MetricsRegistry::new();
+        let rh = reg.histogram("t_seconds");
+        rh.observe_traced(0.5, Some(&ctx));
+        match &reg.snapshot()[0].value {
+            MetricValue::Histogram { exemplars, .. } => {
+                assert!(exemplars
+                    .iter()
+                    .flatten()
+                    .any(|e| e.trace_id == ctx.trace_id));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exemplar_attachment_is_safe_under_concurrent_writes() {
+        // Writers hammer traced and untraced observations while a reader
+        // snapshots. Every exemplar seen must be internally consistent:
+        // its value inside its bucket's range and its trace id one that
+        // some writer actually used (ids are derived from the value, so
+        // a torn read would break the pairing).
+        let h = Arc::new(Histogram::with_bounds(&[1.0, 2.0, 4.0, 8.0]));
+        let mut writers = Vec::new();
+        for w in 0..4u64 {
+            let h = Arc::clone(&h);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let value = ((i * 7 + w) % 10) as f64;
+                    // Seed the trace id from the value so the reader can
+                    // verify the (trace_id, value) pairing.
+                    let ctx = TraceContext::from_seed(value as u64, true);
+                    if i % 3 == 0 {
+                        h.observe_traced(value, Some(&ctx));
+                    } else {
+                        h.observe(value);
+                    }
+                }
+            }));
+        }
+        let bounds = [1.0, 2.0, 4.0, 8.0];
+        for _ in 0..200 {
+            for (i, slot) in h.exemplars().iter().enumerate() {
+                if let Some(ex) = slot {
+                    let lower = if i == 0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        bounds[i - 1]
+                    };
+                    let upper = bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                    assert!(
+                        ex.value > lower && ex.value <= upper,
+                        "exemplar value {} escaped bucket {i}",
+                        ex.value
+                    );
+                    let expected = TraceContext::from_seed(ex.value as u64, true);
+                    assert_eq!(
+                        ex.trace_id, expected.trace_id,
+                        "trace id / value pairing torn at bucket {i}"
+                    );
+                }
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // After the storm every occupied bucket holds an exemplar (each
+        // writer produced sampled values spanning all buckets).
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 5);
+        assert!(ex.iter().flatten().count() >= 4, "buckets hold exemplars");
     }
 }

@@ -104,6 +104,7 @@ pub fn render_snapshot(samples: &[MetricSample]) -> String {
                 cumulative,
                 sum,
                 count,
+                exemplars,
             } => {
                 for (i, cum) in cumulative.iter().enumerate() {
                     let le = if i < bounds.len() {
@@ -111,11 +112,21 @@ pub fn render_snapshot(samples: &[MetricSample]) -> String {
                     } else {
                         "+Inf".to_string()
                     };
+                    // OpenMetrics exemplar suffix: ` # {labels} value`
+                    // after the bucket sample, naming the last sampled
+                    // trace that landed in this bucket.
+                    let exemplar = match exemplars.get(i).copied().flatten() {
+                        Some(e) => {
+                            format!(" # {{trace_id=\"{:032x}\"}} {}", e.trace_id, e.value)
+                        }
+                        None => String::new(),
+                    };
                     out.push_str(&format!(
-                        "{}_bucket{} {}\n",
+                        "{}_bucket{} {}{}\n",
                         sample.name,
                         render_labels(&sample.labels, Some(&le)),
-                        cum
+                        cum,
+                        exemplar
                     ));
                 }
                 out.push_str(&format!(
@@ -162,6 +173,9 @@ mod tests {
                 continue;
             }
             assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            // Strip an OpenMetrics exemplar suffix (` # {...} value`)
+            // before splitting off the sample value.
+            let line = line.split(" # {").next().expect("split never empty");
             let (series, value) = line.rsplit_once(' ').expect("sample line");
             let value: f64 = value.parse().expect("sample value");
             let (name, labels) = match series.split_once('{') {
@@ -275,5 +289,40 @@ mod tests {
         assert_eq!(render_value(3.0), "3");
         assert_eq!(render_value(0.5), "0.5");
         assert_eq!(render_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn bucket_lines_carry_exemplars_in_openmetrics_syntax() {
+        use crate::trace::TraceContext;
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("req_seconds");
+        let ctx = TraceContext::from_seed(11, true);
+        h.observe_traced(2e-6, Some(&ctx));
+        h.observe(0.5); // untraced: its bucket gets no exemplar
+
+        let text = render(&reg);
+        let expected = format!(
+            "req_seconds_bucket{{le=\"0.000003162\"}} 1 # {{trace_id=\"{:032x}\"}} 0.000002",
+            ctx.trace_id
+        );
+        assert!(
+            text.lines().any(|l| l == expected),
+            "missing exemplar line in:\n{text}"
+        );
+        // The untraced bucket renders bare.
+        assert!(text.lines().any(|l| l == "req_seconds_bucket{le=\"1\"} 2"));
+        // The parser still round-trips exemplar-bearing output.
+        let (types, samples) = parse(&text);
+        assert_eq!(
+            types.get("req_seconds").map(String::as_str),
+            Some("histogram")
+        );
+        let inf = samples
+            .iter()
+            .find(|(n, l, _)| {
+                n == "req_seconds_bucket" && l.get("le").map(String::as_str) == Some("+Inf")
+            })
+            .expect("+Inf bucket");
+        assert_eq!(inf.2, 2.0);
     }
 }

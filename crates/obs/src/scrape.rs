@@ -88,6 +88,9 @@ pub fn scrape_into_with(
                 cumulative,
                 sum,
                 count,
+                // Exemplars are exposition-only: the TSDB stores the
+                // numeric series, /metrics carries the trace links.
+                exemplars: _,
             } => {
                 let bucket_name = format!("{}_bucket", metric.name);
                 for (i, cum) in cumulative.iter().enumerate() {

@@ -82,6 +82,8 @@ impl SpanCollector {
     /// Creates an empty collector whose epoch is "now".
     pub fn new() -> Self {
         SpanCollector {
+            // envlint: allow(wall-clock) — span timestamps are trace
+            // metadata; exported traces never influence computation.
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
@@ -115,6 +117,8 @@ impl SpanCollector {
                 thread,
                 depth,
             }),
+            // envlint: allow(wall-clock) — span duration measurement;
+            // observability metadata only, numerics-inert.
             started: Instant::now(),
             owner,
         }

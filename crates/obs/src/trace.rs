@@ -1,0 +1,268 @@
+//! W3C trace-context propagation for request-scoped tracing.
+//!
+//! A [`TraceContext`] identifies one request as it crosses layer
+//! boundaries: loadgen stamps a `traceparent` header, the serve stack
+//! parses it, and every span, exemplar, and retained trace downstream
+//! carries the same 128-bit trace id. The wire format is the W3C
+//! `traceparent` header (version 00):
+//!
+//! ```text
+//! 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//! ^^ ^^^^^^^^^^^^ trace-id (32 hex) ^ span-id (16 hex) ^^ flags
+//! ```
+//!
+//! Everything here is deterministic by construction — ids come from a
+//! process-global counter fed through a splitmix64 finalizer, and
+//! sampling decisions are pure functions of the trace id — so traced
+//! runs are replayable and the envlint `wall-clock` rule holds with no
+//! entropy or clock exception.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One request's identity as it propagates through the serve stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every span of the request.
+    pub trace_id: u128,
+    /// 64-bit id of the current span within the trace.
+    pub span_id: u64,
+    /// Whether the upstream caller asked for this trace to be kept
+    /// (the `sampled` flag bit of `traceparent`).
+    pub sampled: bool,
+}
+
+/// Process-global id source; ids are unique per process and replayable
+/// (the Nth id of a run is always the same value).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// splitmix64 finalizer: a cheap, high-quality bijective mixer turning
+/// sequential counter values into well-spread ids.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Whether every byte of `s` is lowercase hex (the W3C header grammar
+/// rejects uppercase).
+fn is_lower_hex(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+impl TraceContext {
+    /// A brand-new unsampled root context with fresh ids.
+    pub fn fresh() -> TraceContext {
+        let n = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        Self::from_seed(n, false)
+    }
+
+    /// The deterministic context derived from `seed` — the same seed
+    /// always yields the same ids, so a deterministic request stream
+    /// (loadgen's) produces a replayable id stream. Ids are guaranteed
+    /// non-zero (the all-zero id is invalid per the W3C spec).
+    pub fn from_seed(seed: u64, sampled: bool) -> TraceContext {
+        let hi = mix(seed);
+        let lo = mix(seed ^ 0xd6e8_feb8_6659_fd93);
+        let trace_id = ((hi as u128) << 64 | lo as u128).max(1);
+        TraceContext {
+            trace_id,
+            span_id: mix(seed ^ 0xa5a5_a5a5_a5a5_a5a5).max(1),
+            sampled,
+        }
+    }
+
+    /// A child context: same trace id and sampling decision, fresh span
+    /// id. This is what a server creates when continuing an incoming
+    /// trace.
+    pub fn child(&self) -> TraceContext {
+        let n = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: mix(n ^ 0x5bd1_e995_7b93_cd0f).max(1),
+            sampled: self.sampled,
+        }
+    }
+
+    /// Deterministic head-sampling: keep 1 in `n` traces, keyed purely
+    /// on the trace id (no RNG — the same trace is kept on every
+    /// replay). `n <= 1` keeps everything.
+    pub fn keep_1_in_n(&self, n: u64) -> bool {
+        if n <= 1 {
+            return true;
+        }
+        mix((self.trace_id >> 64) as u64 ^ self.trace_id as u64).is_multiple_of(n)
+    }
+
+    /// The trace id as the 32-char lowercase hex the wire format uses.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+
+    /// Renders the context as a W3C `traceparent` header value.
+    pub fn format(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parses a W3C `traceparent` header value. Returns `None` for
+    /// anything malformed — wrong field widths, uppercase or non-hex
+    /// digits, the invalid all-zero ids, or the reserved version `ff` —
+    /// so callers can fall back to a fresh context instead of failing
+    /// the request.
+    pub fn parse(header: &str) -> Option<TraceContext> {
+        let mut parts = header.trim().split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let span = parts.next()?;
+        let flags = parts.next()?;
+        if version.len() != 2 || !is_lower_hex(version) || version == "ff" {
+            return None;
+        }
+        // Version 00 has exactly four fields; future versions may append
+        // more, which we accept and ignore (per spec) only when the
+        // version says so. Version 00 with trailing fields is malformed.
+        if version == "00" && parts.next().is_some() {
+            return None;
+        }
+        if trace.len() != 32 || !is_lower_hex(trace) {
+            return None;
+        }
+        if span.len() != 16 || !is_lower_hex(span) {
+            return None;
+        }
+        if flags.len() != 2 || !is_lower_hex(flags) {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(trace, 16).ok()?;
+        let span_id = u64::from_str_radix(span, 16).ok()?;
+        let flag_bits = u8::from_str_radix(flags, 16).ok()?;
+        if trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            sampled: flag_bits & 1 == 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parse_round_trip() {
+        let ctx = TraceContext {
+            trace_id: 0x4bf9_2f35_77b3_4da6_a3ce_929d_0e0e_4736,
+            span_id: 0x00f0_67aa_0ba9_02b7,
+            sampled: true,
+        };
+        let header = ctx.format();
+        assert_eq!(
+            header,
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        );
+        assert_eq!(TraceContext::parse(&header), Some(ctx));
+        // Unsampled round-trips too.
+        let quiet = TraceContext {
+            sampled: false,
+            ..ctx
+        };
+        assert_eq!(TraceContext::parse(&quiet.format()), Some(quiet));
+        // Fresh and seeded contexts survive the wire.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let c = TraceContext::from_seed(seed, true);
+            assert_eq!(TraceContext::parse(&c.format()), Some(c));
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let valid = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        assert!(TraceContext::parse(valid).is_some());
+        for bad in [
+            "",
+            "garbage",
+            // Truncated at every field boundary.
+            "00",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+            // Short / long ids.
+            "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e47361-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",
+            // Uppercase hex is invalid per the W3C grammar.
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+            // Non-hex digits.
+            "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",
+            "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+            // All-zero ids are explicitly invalid.
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+            // Reserved version.
+            "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+            // Version 00 with trailing fields.
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+            // Flags field malformed.
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_ids_are_deterministic_and_distinct() {
+        let a = TraceContext::from_seed(7, true);
+        let b = TraceContext::from_seed(7, true);
+        assert_eq!(a, b, "same seed, same ids");
+        let c = TraceContext::from_seed(8, true);
+        assert_ne!(a.trace_id, c.trace_id, "distinct seeds, distinct ids");
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+    }
+
+    #[test]
+    fn child_keeps_trace_id_and_sampling() {
+        let root = TraceContext::from_seed(3, true);
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.sampled, root.sampled);
+        assert_ne!(child.span_id, root.span_id);
+        assert_ne!(child.span_id, 0);
+    }
+
+    #[test]
+    fn head_sampling_is_deterministic_and_roughly_one_in_n() {
+        let n = 64u64;
+        let kept: Vec<bool> = (0..4096u64)
+            .map(|s| TraceContext::from_seed(s, false).keep_1_in_n(n))
+            .collect();
+        let again: Vec<bool> = (0..4096u64)
+            .map(|s| TraceContext::from_seed(s, false).keep_1_in_n(n))
+            .collect();
+        assert_eq!(kept, again, "sampling must be replayable");
+        let count = kept.iter().filter(|&&k| k).count();
+        // 4096/64 = 64 expected; allow generous slack for the mixer.
+        assert!((16..=160).contains(&count), "kept {count} of 4096");
+        // n <= 1 keeps everything.
+        assert!(TraceContext::from_seed(9, false).keep_1_in_n(0));
+        assert!(TraceContext::from_seed(9, false).keep_1_in_n(1));
+    }
+
+    #[test]
+    fn fresh_contexts_are_unsampled_and_unique() {
+        let a = TraceContext::fresh();
+        let b = TraceContext::fresh();
+        assert!(!a.sampled);
+        assert_ne!(a.trace_id, b.trace_id);
+    }
+}

@@ -57,6 +57,7 @@ fn histogram_sample(name: &str, snap: &LatencySnapshot) -> MetricSample {
             cumulative: snap.cumulative.clone(),
             sum: snap.sum_seconds,
             count: snap.count,
+            exemplars: Vec::new(),
         },
     }
 }

@@ -24,14 +24,19 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use env2vec::dataframe::Dataframe;
 use env2vec_linalg::Matrix;
+use env2vec_obs::TraceContext;
 use env2vec_telemetry::locks::{self, TrackedMutex, TrackedRwLock};
 
 use crate::model_cache::{CachedModel, ModelCache};
 use crate::{PredictRequest, ServeError};
+
+/// Bucket bounds for the rows-per-batch occupancy histogram (powers of
+/// two up to `max_rows`' default).
+const BATCH_ROWS_BOUNDS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
 
 /// Batching knobs.
 #[derive(Debug, Clone, Copy)]
@@ -53,9 +58,25 @@ impl Default for BatchOptions {
 
 type RowResult = Result<(u64, Vec<f64>), ServeError>;
 
+/// What the batch did with one submission — diagnostics riding along
+/// with the result, recorded into the request's trace. Carries no
+/// numeric payload, so it can never perturb predictions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchTrace {
+    /// Seconds the submission's rows sat queued before the batch ran.
+    pub wait_seconds: f64,
+    /// Total rows in the batch that carried this submission.
+    pub batch_rows: u64,
+    /// Number of requests coalesced into that batch.
+    pub batch_requests: u64,
+    /// Whether this submission held the window open (leader) or rode
+    /// along (follower).
+    pub leader: bool,
+}
+
 /// Where a submission's results land; the submitter sleeps on `ready`.
 struct ResultSlot {
-    value: TrackedMutex<Option<RowResult>>,
+    value: TrackedMutex<Option<(RowResult, BatchTrace)>>,
     ready: Condvar,
 }
 
@@ -67,12 +88,12 @@ impl ResultSlot {
         }
     }
 
-    fn set(&self, result: RowResult) {
-        *self.value.lock() = Some(result);
+    fn set(&self, result: RowResult, trace: BatchTrace) {
+        *self.value.lock() = Some((result, trace));
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> RowResult {
+    fn wait(&self) -> (RowResult, BatchTrace) {
         let mut value = self.value.lock();
         loop {
             if let Some(result) = value.take() {
@@ -87,6 +108,9 @@ impl ResultSlot {
 struct Submission {
     request: PredictRequest,
     slot: Arc<ResultSlot>,
+    /// Trace context propagated from the request's `traceparent`.
+    ctx: Option<TraceContext>,
+    enqueued: Instant,
 }
 
 struct QueueState {
@@ -156,8 +180,23 @@ impl Batcher {
     /// for the same environment. Returns the model version used and one
     /// prediction per request row, in request order.
     pub fn predict(&self, request: PredictRequest) -> RowResult {
+        self.predict_traced(request, None).0
+    }
+
+    /// [`Batcher::predict`] with an optional trace context: the request
+    /// joins the batch carrying its trace id, and the returned
+    /// [`BatchTrace`] reports queue wait, batch occupancy, and the
+    /// submission's leader/follower role.
+    pub fn predict_traced(
+        &self,
+        request: PredictRequest,
+        ctx: Option<TraceContext>,
+    ) -> (RowResult, BatchTrace) {
         if request.rows.is_empty() {
-            return Err(ServeError::InvalidRequest("empty rows".to_string()));
+            return (
+                Err(ServeError::InvalidRequest("empty rows".to_string())),
+                BatchTrace::default(),
+            );
         }
         let queue = self.queue(&request.env);
         let env = request.env.clone();
@@ -168,6 +207,8 @@ impl Batcher {
             state.pending.push(Submission {
                 request,
                 slot: Arc::clone(&slot),
+                ctx,
+                enqueued: Instant::now(),
             });
             if state.rows >= self.opts.max_rows {
                 queue.filled.notify_all();
@@ -200,29 +241,75 @@ impl Batcher {
             };
             self.execute(&env, batch);
         }
-        slot.wait()
+        let metrics = env2vec_obs::metrics();
+        if is_leader {
+            metrics.counter("serve_batch_leader_total").inc();
+        } else {
+            metrics.counter("serve_batch_follower_total").inc();
+        }
+        let (result, mut trace) = slot.wait();
+        trace.leader = is_leader;
+        (result, trace)
     }
 
     /// Runs one batched prediction and distributes per-submission
     /// results.
     fn execute(&self, env: &str, batch: Vec<Submission>) {
         let metrics = env2vec_obs::metrics();
+        // Batch occupancy, observed once per batch regardless of
+        // outcome: how full did the window get, and how long did its
+        // members wait.
+        let queued_rows: usize = batch.iter().map(|s| s.request.rows.len()).sum();
+        let batch_requests = batch.len() as u64;
+        metrics
+            .histogram_with_bounds("serve_batch_rows", &BATCH_ROWS_BOUNDS)
+            .observe(queued_rows as f64);
+        metrics
+            .gauge("serve_batch_window_fill_ratio")
+            .set(queued_rows as f64 / self.opts.max_rows.max(1) as f64);
+        let executed = Instant::now();
+        let trace_of = |s: &Submission| BatchTrace {
+            wait_seconds: executed.duration_since(s.enqueued).as_secs_f64(),
+            batch_rows: queued_rows as u64,
+            batch_requests,
+            leader: false,
+        };
+        // One batch span linking every sampled member request, exported
+        // through the usual Chrome-trace/JSONL path.
+        let sampled: Vec<String> = batch
+            .iter()
+            .filter_map(|s| s.ctx.filter(|c| c.sampled).map(|c| c.trace_id_hex()))
+            .collect();
+        let mut span = (!sampled.is_empty()).then(|| {
+            env2vec_obs::span::global().start(
+                "serve/batch",
+                vec![
+                    ("env".to_string(), env.to_string()),
+                    ("rows".to_string(), queued_rows.to_string()),
+                    ("requests".to_string(), batch_requests.to_string()),
+                    ("trace_ids".to_string(), sampled.join(",")),
+                ],
+            )
+        });
         let cached = match self.cache.get(env) {
             Ok(cached) => cached,
             Err(e) => {
                 for submission in &batch {
-                    submission.slot.set(Err(e.clone()));
+                    submission.slot.set(Err(e.clone()), trace_of(submission));
                 }
                 return;
             }
         };
+        if let Some(span) = span.as_mut() {
+            span.arg("model_version", cached.version);
+        }
         // Validate each submission against the model's shapes; invalid
         // ones error out individually without poisoning the batch.
         let mut valid: Vec<&Submission> = Vec::with_capacity(batch.len());
         for submission in &batch {
             match validate(&cached, &submission.request) {
                 Ok(()) => valid.push(submission),
-                Err(e) => submission.slot.set(Err(e)),
+                Err(e) => submission.slot.set(Err(e), trace_of(submission)),
             }
         }
         if valid.is_empty() {
@@ -251,7 +338,7 @@ impl Batcher {
             _ => {
                 let e = ServeError::InvalidRequest("ragged row widths".to_string());
                 for submission in &valid {
-                    submission.slot.set(Err(e.clone()));
+                    submission.slot.set(Err(e.clone()), trace_of(submission));
                 }
                 return;
             }
@@ -270,13 +357,15 @@ impl Batcher {
                     let n = submission.request.rows.len();
                     let rows = predictions[offset..offset + n].to_vec();
                     offset += n;
-                    submission.slot.set(Ok((cached.version, rows)));
+                    submission
+                        .slot
+                        .set(Ok((cached.version, rows)), trace_of(submission));
                 }
             }
             Err(e) => {
                 let e = ServeError::InvalidRequest(format!("prediction failed: {e:?}"));
                 for submission in &valid {
-                    submission.slot.set(Err(e.clone()));
+                    submission.slot.set(Err(e.clone()), trace_of(submission));
                 }
             }
         }
@@ -424,6 +513,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_predictions_report_batch_occupancy_and_role() {
+        let (hub, model) = published_hub("edge");
+        let batcher = Batcher::new(
+            Arc::new(ModelCache::new(hub)),
+            BatchOptions {
+                window: Duration::from_micros(50),
+                max_rows: 8,
+            },
+        );
+        let ctx = TraceContext::from_seed(7, true);
+        let (result, trace) =
+            batcher.predict_traced(request("edge", vec![row(0), row(1)]), Some(ctx));
+        let (_, preds) = result.expect("predict");
+        assert_eq!(preds.len(), 2);
+        assert!(trace.leader, "sole submitter is the leader");
+        assert_eq!(trace.batch_rows, 2);
+        assert_eq!(trace.batch_requests, 1);
+        assert!(trace.wait_seconds >= 0.0);
+        // The trace context changes nothing about the numbers.
+        let untraced = batcher
+            .predict(request("edge", vec![row(0), row(1)]))
+            .expect("untraced predict");
+        for (i, (&a, &b)) in preds.iter().zip(&untraced.1).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+        drop(model);
     }
 
     #[test]

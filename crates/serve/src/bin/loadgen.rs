@@ -3,8 +3,14 @@
 //! ```text
 //! loadgen --self-host [--connections N] [--requests N] [--rows N]
 //!         [--mode closed|open] [--rate R] [--window-us U] [--max-rows B]
+//!         [--trace-every N]
 //! loadgen --addr HOST:PORT --env NAME [--connections N] ...
 //! ```
+//!
+//! `--trace-every N` stamps a W3C `traceparent` header (`sampled=1`) on
+//! every Nth request; after the storm the retained-trace count is pulled
+//! from `GET /traces/slow` and one retained trace is round-tripped
+//! through `GET /trace/{id}`.
 //!
 //! `--self-host` trains a small model, publishes it to an in-process
 //! registry, starts the server on an ephemeral port, and storms it —
@@ -25,13 +31,15 @@ use env2vec_linalg::Matrix;
 use env2vec_serve::batch::BatchOptions;
 use env2vec_serve::loadgen::{self, LoadgenOptions, Pacing};
 use env2vec_serve::server::{Server, ServerOptions};
+use env2vec_serve::trace_store::TraceBufferConfig;
 use env2vec_telemetry::registry::RegistryHub;
 
 fn usage() -> &'static str {
     "usage:\n  loadgen --self-host [--connections N] [--requests N] [--rows N] \
-     [--mode closed|open] [--rate R] [--window-us U] [--max-rows B]\n  \
+     [--mode closed|open] [--rate R] [--window-us U] [--max-rows B] [--trace-every N]\n  \
      loadgen --addr HOST:PORT --env NAME [--em a,b,c,d] [--num-cf N] [--history N] \
-     [--connections N] [--requests N] [--rows N] [--mode closed|open] [--rate R]"
+     [--connections N] [--requests N] [--rows N] [--mode closed|open] [--rate R] \
+     [--trace-every N]"
 }
 
 const BOOLEAN_FLAGS: [&str; 1] = ["self-host"];
@@ -86,6 +94,7 @@ fn run() -> Result<(), String> {
     let connections = numeric(&flags, "connections", 4usize)?;
     let requests = numeric(&flags, "requests", 200usize)?;
     let rows = numeric(&flags, "rows", 32usize)?;
+    let trace_every = numeric(&flags, "trace-every", 0usize)?;
     let pacing = match flags.get("mode").map(String::as_str) {
         None | Some("closed") => Pacing::ClosedLoop,
         Some("open") => Pacing::OpenLoop {
@@ -108,6 +117,13 @@ fn run() -> Result<(), String> {
                 batch: BatchOptions {
                     window: Duration::from_micros(numeric(&flags, "window-us", 200u64)?),
                     max_rows: numeric(&flags, "max-rows", 256usize)?,
+                },
+                // Mirror the client's 1-in-N rate as server-side head
+                // sampling so unsampled-but-interesting traffic is
+                // retained at the same deterministic rate.
+                trace: TraceBufferConfig {
+                    head_sample_every: trace_every as u64,
+                    ..TraceBufferConfig::default()
                 },
             },
         )
@@ -155,7 +171,15 @@ fn run() -> Result<(), String> {
         num_cf,
         history_window,
         pacing,
+        trace_every: (trace_every > 0).then_some(trace_every),
     });
+    // Pull retained traces while the (possibly self-hosted) server is
+    // still up.
+    let trace_summary = if trace_every > 0 {
+        Some(check_traces(addr, connections * requests, trace_every)?)
+    } else {
+        None
+    };
     if let Some(server) = &hosted {
         server.shutdown();
     }
@@ -163,10 +187,71 @@ fn run() -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
     );
+    if let Some(line) = trace_summary {
+        println!("{line}");
+    }
     if report.errors > 0 {
         return Err(format!("{} requests failed", report.errors));
     }
     Ok(())
+}
+
+/// Fetches `/traces/slow`, echoes the retained count, and round-trips
+/// one retained trace through `GET /trace/{id}`. Errors if the server
+/// retained nothing despite tracing being on, or if the round-trip
+/// fails.
+fn check_traces(
+    addr: std::net::SocketAddr,
+    total_requests: usize,
+    trace_every: usize,
+) -> Result<String, String> {
+    let response = loadgen::http_get(addr, "/traces/slow")
+        .map_err(|e| format!("GET /traces/slow failed: {e:?}"))?;
+    if response.status != 200 {
+        return Err(format!("GET /traces/slow -> HTTP {}", response.status));
+    }
+    let text =
+        std::str::from_utf8(&response.body).map_err(|_| "traces body not UTF-8".to_string())?;
+    let parsed = serde_json::parse_value(text).map_err(|_| "traces body not JSON".to_string())?;
+    let retained = match parsed.field("retained") {
+        Ok(serde::Value::Int(n)) => *n as u64,
+        Ok(serde::Value::UInt(n)) => *n,
+        _ => return Err("traces body missing `retained`".to_string()),
+    };
+    if retained == 0 {
+        return Err("tracing was on but the server retained no traces".to_string());
+    }
+    let slow = match parsed.field("traces") {
+        Ok(serde::Value::Array(traces)) => traces.len(),
+        _ => return Err("traces body missing `traces`".to_string()),
+    };
+    // Round-trip one retained trace by id: prefer a slow one; when none
+    // crossed the slow threshold, fall back to the last stamped request,
+    // whose trace id is deterministic (seeded from the global request
+    // index, and the server's child context keeps the trace id).
+    let id = match parsed.field("traces") {
+        Ok(serde::Value::Array(traces)) => match traces.first().map(|t| t.field("trace_id")) {
+            Some(Ok(serde::Value::Str(id))) => id.clone(),
+            Some(_) => return Err("trace record missing `trace_id`".to_string()),
+            None => {
+                let last_stamped = ((total_requests.max(1) - 1) / trace_every) * trace_every;
+                env2vec_obs::TraceContext::from_seed(last_stamped as u64, true).trace_id_hex()
+            }
+        },
+        _ => return Err("traces body missing `traces`".to_string()),
+    };
+    let one = loadgen::http_get(addr, &format!("/trace/{id}"))
+        .map_err(|e| format!("GET /trace/{id} failed: {e:?}"))?;
+    if one.status != 200 {
+        return Err(format!("GET /trace/{id} -> HTTP {}", one.status));
+    }
+    let body = std::str::from_utf8(&one.body).map_err(|_| "trace body not UTF-8".to_string())?;
+    if !body.contains(&id) {
+        return Err(format!("GET /trace/{id} body does not echo the id"));
+    }
+    Ok(format!(
+        "traces: retained={retained} slow={slow} round-trip={id} ok"
+    ))
 }
 
 fn main() -> ExitCode {

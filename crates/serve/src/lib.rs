@@ -16,7 +16,9 @@
 //! - [`server`] — the TCP accept loop and connection handlers, run as
 //!   long-lived detached jobs on `par`'s pool;
 //! - [`loadgen`] — closed- and open-loop request storms with client-side
-//!   latency capture.
+//!   latency capture;
+//! - [`trace_store`] — tail-sampled retention of completed request
+//!   traces, served back over `GET /trace/{id}` and `GET /traces/slow`.
 //!
 //! Batching changes throughput, never bits: `Model::predict` is
 //! row-independent (per-row dot products with a fixed reduction order,
@@ -29,6 +31,7 @@ pub mod http;
 pub mod loadgen;
 pub mod model_cache;
 pub mod server;
+pub mod trace_store;
 
 use serde::{Deserialize, Serialize};
 

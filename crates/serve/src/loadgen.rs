@@ -19,6 +19,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use env2vec_obs::metrics::Histogram;
+use env2vec_obs::TraceContext;
 use serde::Serialize;
 
 use crate::http::{self, HttpConn, Response};
@@ -58,6 +59,10 @@ pub struct LoadgenOptions {
     pub history_window: usize,
     /// Closed- or open-loop release schedule.
     pub pacing: Pacing,
+    /// Stamp a W3C `traceparent` header with `sampled=1` on every Nth
+    /// request (by global request index, deterministic). `None` sends no
+    /// trace headers at all.
+    pub trace_every: Option<usize>,
 }
 
 /// Storm result.
@@ -109,6 +114,20 @@ pub fn deterministic_request(
             .map(|r| deterministic_row(base + r, opts.num_cf, opts.history_window))
             .collect(),
     }
+}
+
+/// The `traceparent` header value a given (connection, sequence) pair
+/// sends, if any: every `trace_every`-th request by global index is
+/// stamped `sampled=1`, with the trace id seeded from that index so a
+/// replayed storm emits identical ids.
+pub fn traceparent_for(
+    opts: &LoadgenOptions,
+    connection: usize,
+    sequence: usize,
+) -> Option<String> {
+    let every = opts.trace_every.filter(|&n| n > 0)?;
+    let index = connection * opts.requests_per_connection + sequence;
+    index.is_multiple_of(every).then(|| TraceContext::from_seed(index as u64, true).format())
 }
 
 struct ConnOutcome {
@@ -222,11 +241,12 @@ fn run_connection(opts: &LoadgenOptions, connection: usize) -> ConnOutcome {
                 continue;
             }
         };
+        let traceparent = traceparent_for(opts, connection, sequence);
         // Latency clock starts at the *scheduled* release for open-loop
         // storms, at the actual send for closed-loop.
         let sent = Instant::now();
         let started = scheduled.unwrap_or(sent);
-        match exchange(&mut conn, &body) {
+        match exchange(&mut conn, &body, traceparent.as_deref()) {
             Ok(response) if response.status == 200 => {
                 match std::str::from_utf8(&response.body)
                     .ok()
@@ -255,14 +275,33 @@ fn run_connection(opts: &LoadgenOptions, connection: usize) -> ConnOutcome {
 fn exchange(
     conn: &mut HttpConn<TcpStream>,
     body: &str,
+    traceparent: Option<&str>,
 ) -> Result<Response, crate::http::HttpError> {
+    let trace_header = traceparent
+        .map(|tp| format!("Traceparent: {tp}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "POST /predict HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        "POST /predict HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n{trace_header}Content-Length: {}\r\n\r\n",
         body.len()
     );
     conn.get_mut()
         .write_all(head.as_bytes())
         .and_then(|_| conn.get_mut().write_all(body.as_bytes()))
+        .and_then(|_| conn.get_mut().flush())
+        .map_err(http::HttpError::Io)?;
+    conn.read_response()
+}
+
+/// One-shot `GET` against the server — used by the CLI to pull retained
+/// traces (`/traces/slow`, `/trace/{id}`) after a storm.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<Response, crate::http::HttpError> {
+    let stream = TcpStream::connect(addr).map_err(http::HttpError::Io)?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut conn = HttpConn::new(stream);
+    let head = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n");
+    conn.get_mut()
+        .write_all(head.as_bytes())
         .and_then(|_| conn.get_mut().flush())
         .map_err(http::HttpError::Io)?;
     conn.read_response()
@@ -284,6 +323,7 @@ mod tests {
             num_cf: 3,
             history_window: 2,
             pacing: Pacing::ClosedLoop,
+            trace_every: Some(4),
         };
         let a = deterministic_request(&opts, 2, 5);
         let b = deterministic_request(&opts, 2, 5);
@@ -295,5 +335,46 @@ mod tests {
         // Distinct (connection, sequence) pairs produce distinct rows.
         let c = deterministic_request(&opts, 3, 5);
         assert_ne!(a.rows[0].cf, c.rows[0].cf);
+    }
+
+    #[test]
+    fn traceparent_stamping_is_every_nth_and_deterministic() {
+        let opts = LoadgenOptions {
+            addr: "127.0.0.1:1".parse().expect("addr"),
+            env: "edge".to_string(),
+            em: vec!["tb".into()],
+            connections: 2,
+            requests_per_connection: 8,
+            rows_per_request: 1,
+            num_cf: 3,
+            history_window: 2,
+            pacing: Pacing::ClosedLoop,
+            trace_every: Some(4),
+        };
+        // Global indices 0..16; every 4th is stamped, sampled=1.
+        let mut stamped = Vec::new();
+        for connection in 0..2 {
+            for sequence in 0..8 {
+                if let Some(tp) = traceparent_for(&opts, connection, sequence) {
+                    assert!(tp.ends_with("-01"), "sampled flag set: {tp}");
+                    assert!(TraceContext::parse(&tp).is_some(), "well-formed: {tp}");
+                    stamped.push((connection, sequence, tp));
+                }
+            }
+        }
+        assert_eq!(stamped.len(), 4);
+        // Replay stamps the identical headers.
+        for (connection, sequence, tp) in &stamped {
+            assert_eq!(
+                traceparent_for(&opts, *connection, *sequence).as_deref(),
+                Some(tp.as_str())
+            );
+        }
+        // trace_every: None sends nothing.
+        let quiet = LoadgenOptions {
+            trace_every: None,
+            ..opts
+        };
+        assert!(traceparent_for(&quiet, 0, 0).is_none());
     }
 }

@@ -8,18 +8,25 @@
 //! flag every ~50 ms instead of blocking forever.
 //!
 //! Routes: `POST /predict` (batched inference), `GET /metrics`
-//! (Prometheus text format), `GET /healthz`.
+//! (Prometheus text format), `GET /healthz`, `GET /trace/{id}` and
+//! `GET /traces/slow` (tail-sampled request traces).
+//!
+//! Every request runs under a [`TraceContext`]: propagated from a W3C
+//! `traceparent` header when one parses, freshly minted (unsampled)
+//! otherwise — a malformed header silently falls back, never a 400.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use env2vec_obs::TraceContext;
 use env2vec_telemetry::registry::RegistryHub;
 
-use crate::batch::{BatchOptions, Batcher};
+use crate::batch::{BatchOptions, BatchTrace, Batcher};
 use crate::http::{self, HttpConn, HttpError, ReadOutcome, Request};
 use crate::model_cache::ModelCache;
+use crate::trace_store::{TraceBuffer, TraceBufferConfig, TraceRecord};
 use crate::{ErrorResponse, PredictRequest, PredictResponse};
 
 /// How long a connection read blocks before re-checking shutdown.
@@ -34,6 +41,8 @@ pub struct ServerOptions {
     pub addr: SocketAddr,
     /// Batching knobs forwarded to the [`Batcher`].
     pub batch: BatchOptions,
+    /// Trace retention rules forwarded to the [`TraceBuffer`].
+    pub trace: TraceBufferConfig,
 }
 
 impl Default for ServerOptions {
@@ -41,6 +50,7 @@ impl Default for ServerOptions {
         ServerOptions {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             batch: BatchOptions::default(),
+            trace: TraceBufferConfig::default(),
         }
     }
 }
@@ -48,6 +58,8 @@ impl Default for ServerOptions {
 /// Shared server state.
 struct Inner {
     batcher: Batcher,
+    traces: TraceBuffer,
+    started: Instant,
     shutdown: AtomicBool,
     /// Accept loop has fully exited.
     stopped: AtomicBool,
@@ -70,6 +82,8 @@ impl Server {
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             batcher: Batcher::new(Arc::new(ModelCache::new(hub)), opts.batch),
+            traces: TraceBuffer::new(opts.trace),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
@@ -89,6 +103,11 @@ impl Server {
     /// The batcher (for direct in-process predictions in tests/bench).
     pub fn batcher(&self) -> &Batcher {
         &self.inner.batcher
+    }
+
+    /// Retained request traces (for assertions in tests/bench).
+    pub fn traces(&self) -> &TraceBuffer {
+        &self.inner.traces
     }
 
     /// Connections currently open.
@@ -178,15 +197,64 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
         match conn.read_request() {
             Ok(ReadOutcome::Request(request)) => {
                 let started = Instant::now();
-                let keep_alive = match respond(&mut conn, &request, &inner) {
-                    Ok(keep_alive) => keep_alive,
+                // W3C traceparent propagation: a parsed header yields a
+                // child context (same trace id, new span id); absent or
+                // malformed headers fall back to a fresh unsampled
+                // context — never a 400.
+                let ctx = request
+                    .header("traceparent")
+                    .and_then(TraceContext::parse)
+                    .map(|c| c.child())
+                    .unwrap_or_else(TraceContext::fresh);
+                let mut span = ctx.sampled.then(|| {
+                    env2vec_obs::span::global().start(
+                        "serve/request",
+                        vec![
+                            ("trace_id".to_string(), ctx.trace_id_hex()),
+                            ("method".to_string(), request.method.clone()),
+                            ("path".to_string(), request.path.clone()),
+                        ],
+                    )
+                });
+                let outcome = match respond(&mut conn, &request, &inner, &ctx) {
+                    Ok(outcome) => outcome,
                     Err(_) => return,
                 };
+                if let Some(span) = span.as_mut() {
+                    span.arg("status", outcome.status);
+                }
+                drop(span);
+                let total_seconds = started.elapsed().as_secs_f64();
                 metrics
                     .histogram("serve_request_seconds")
-                    .observe(started.elapsed().as_secs_f64());
+                    .observe_traced(total_seconds, Some(&ctx));
                 metrics.counter("serve_requests_total").inc();
-                if !keep_alive {
+                let batch = outcome.batch;
+                inner.traces.record(
+                    &ctx,
+                    TraceRecord {
+                        trace_id: ctx.trace_id_hex(),
+                        span_id: format!("{:016x}", ctx.span_id),
+                        sampled: ctx.sampled,
+                        method: request.method.clone(),
+                        path: request.path.clone(),
+                        status: outcome.status as u64,
+                        total_seconds,
+                        batch_wait_seconds: batch.wait_seconds,
+                        batch_rows: batch.batch_rows,
+                        batch_requests: batch.batch_requests,
+                        batch_role: if batch.batch_requests == 0 {
+                            "-"
+                        } else if batch.leader {
+                            "leader"
+                        } else {
+                            "follower"
+                        }
+                        .to_string(),
+                        model_version: outcome.model_version,
+                    },
+                );
+                if !outcome.keep_alive {
                     return;
                 }
             }
@@ -227,17 +295,37 @@ fn write_error(conn: &mut HttpConn<TcpStream>, status: u16, error: &str) -> std:
     )
 }
 
-/// Routes one request and writes its response. Returns whether the
-/// connection stays open.
+/// What one routed request produced, for trace recording.
+struct RouteOutcome {
+    keep_alive: bool,
+    status: u16,
+    /// Batch diagnostics when the request reached the batcher
+    /// (`batch_requests == 0` otherwise).
+    batch: BatchTrace,
+    model_version: u64,
+}
+
+/// Routes one request and writes its response.
 fn respond(
     conn: &mut HttpConn<TcpStream>,
     request: &Request,
     inner: &Inner,
-) -> std::io::Result<bool> {
+    ctx: &TraceContext,
+) -> std::io::Result<RouteOutcome> {
     let keep_alive = request.keep_alive;
+    let mut outcome = RouteOutcome {
+        keep_alive,
+        status: 200,
+        batch: BatchTrace::default(),
+        model_version: 0,
+    };
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/predict") => {
-            let (status, body) = predict_response(&inner.batcher, &request.body);
+            let (status, body, batch, model_version) =
+                predict_response(&inner.batcher, &request.body, ctx);
+            outcome.status = status;
+            outcome.batch = batch;
+            outcome.model_version = model_version;
             http::write_response(
                 conn.get_mut(),
                 status,
@@ -247,6 +335,9 @@ fn respond(
             )?;
         }
         ("GET", "/metrics") => {
+            env2vec_obs::metrics()
+                .gauge("serve_uptime_seconds")
+                .set(inner.started.elapsed().as_secs_f64());
             let body = env2vec_obs::prometheus::render(env2vec_obs::metrics());
             http::write_response(
                 conn.get_mut(),
@@ -259,8 +350,49 @@ fn respond(
         ("GET", "/healthz") => {
             http::write_response(conn.get_mut(), 200, "text/plain", b"ok\n", keep_alive)?;
         }
-        (_, "/predict") | (_, "/metrics") | (_, "/healthz") => {
+        ("GET", "/traces/slow") => {
+            let body = serde_json::to_string(&inner.traces.slow())
+                .unwrap_or_else(|_| "{\"retained\":0,\"traces\":[]}".to_string());
+            http::write_response(
+                conn.get_mut(),
+                200,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+        }
+        ("GET", path) if path.strip_prefix("/trace/").is_some() => {
+            let id = path.strip_prefix("/trace/").unwrap_or_default();
+            match inner.traces.get(id) {
+                Some(record) => {
+                    let body = serde_json::to_string(&record)
+                        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+                    http::write_response(
+                        conn.get_mut(),
+                        200,
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                }
+                None => {
+                    // A miss is not a server error: the trace was simply
+                    // not retained (or evicted).
+                    outcome.status = 404;
+                    let body = error_body("no such trace");
+                    http::write_response(
+                        conn.get_mut(),
+                        404,
+                        "application/json",
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                }
+            }
+        }
+        (_, "/predict") | (_, "/metrics") | (_, "/healthz") | (_, "/traces/slow") => {
             env2vec_obs::metrics().counter("serve_errors_total").inc();
+            outcome.status = 405;
             let body = error_body("method not allowed");
             http::write_response(
                 conn.get_mut(),
@@ -272,6 +404,7 @@ fn respond(
         }
         _ => {
             env2vec_obs::metrics().counter("serve_errors_total").inc();
+            outcome.status = 404;
             let body = error_body("no such route");
             http::write_response(
                 conn.get_mut(),
@@ -282,7 +415,7 @@ fn respond(
             )?;
         }
     }
-    Ok(keep_alive)
+    Ok(outcome)
 }
 
 fn error_body(error: &str) -> String {
@@ -292,30 +425,55 @@ fn error_body(error: &str) -> String {
     .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string())
 }
 
-/// Parses, batches, and serialises one `/predict` call.
-fn predict_response(batcher: &Batcher, body: &[u8]) -> (u16, String) {
+/// Parses, batches, and serialises one `/predict` call. Returns
+/// `(status, body, batch diagnostics, model version)`.
+fn predict_response(
+    batcher: &Batcher,
+    body: &[u8],
+    ctx: &TraceContext,
+) -> (u16, String, BatchTrace, u64) {
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("body is not UTF-8")),
+        Err(_) => {
+            return (
+                400,
+                error_body("body is not UTF-8"),
+                BatchTrace::default(),
+                0,
+            )
+        }
     };
     let request: PredictRequest = match serde_json::from_str(text) {
         Ok(request) => request,
-        Err(e) => return (400, error_body(&format!("malformed JSON: {e}"))),
+        Err(e) => {
+            return (
+                400,
+                error_body(&format!("malformed JSON: {e}")),
+                BatchTrace::default(),
+                0,
+            )
+        }
     };
-    match batcher.predict(request) {
+    let (result, trace) = batcher.predict_traced(request, Some(*ctx));
+    match result {
         Ok((model_version, predictions)) => {
             let response = PredictResponse {
                 model_version,
                 predictions,
             };
             match serde_json::to_string(&response) {
-                Ok(body) => (200, body),
-                Err(_) => (500, error_body("serialisation failed")),
+                Ok(body) => (200, body, trace, model_version),
+                Err(_) => (
+                    500,
+                    error_body("serialisation failed"),
+                    trace,
+                    model_version,
+                ),
             }
         }
         Err(e) => {
             env2vec_obs::metrics().counter("serve_errors_total").inc();
-            (e.status(), error_body(&e.to_string()))
+            (e.status(), error_body(&e.to_string()), trace, 0)
         }
     }
 }

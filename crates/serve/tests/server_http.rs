@@ -258,6 +258,7 @@ fn loadgen_closed_loop_storm_returns_bit_identical_rows() {
         num_cf: 3,
         history_window: 2,
         pacing: Pacing::ClosedLoop,
+        trace_every: None,
     };
     let report = loadgen::run(&opts);
     assert_eq!(report.errors, 0, "storm must be error-free: {report:?}");
@@ -293,9 +294,119 @@ fn loadgen_open_loop_storm_completes() {
         num_cf: 3,
         history_window: 2,
         pacing: Pacing::OpenLoop { rate: 2000.0 },
+        trace_every: None,
     });
     assert_eq!(report.errors, 0, "{report:?}");
     assert_eq!(report.requests, 40);
+    server.shutdown();
+}
+
+fn post_predict_traced(
+    conn: &mut HttpConn<TcpStream>,
+    request: &PredictRequest,
+    traceparent: &str,
+) -> (u16, Vec<u8>) {
+    let body = serde_json::to_string(request).expect("serialise");
+    let head = format!(
+        "POST /predict HTTP/1.1\r\nContent-Type: application/json\r\n\
+         Traceparent: {traceparent}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    send_raw(conn, head.as_bytes());
+    send_raw(conn, body.as_bytes());
+    let response = conn.read_response().expect("response");
+    (response.status, response.body)
+}
+
+fn get(conn: &mut HttpConn<TcpStream>, path: &str) -> (u16, String) {
+    send_raw(conn, format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes());
+    let response = conn.read_response().expect("response");
+    (
+        response.status,
+        String::from_utf8(response.body).expect("utf8"),
+    )
+}
+
+#[test]
+fn malformed_traceparent_is_ignored_never_rejected() {
+    let (server, _model, _hub) = served("edge");
+    let mut conn = connect(&server);
+    for garbage in [
+        "zz-not-a-trace",
+        "00-short-short-01",
+        "00-gggggggggggggggggggggggggggggggg-hhhhhhhhhhhhhhhh-01",
+        "",
+    ] {
+        let (status, body) =
+            post_predict_traced(&mut conn, &request("edge", vec![row(1)]), garbage);
+        assert_eq!(
+            status,
+            200,
+            "traceparent {garbage:?} must fall back to a fresh context, \
+             not reject the request: {}",
+            String::from_utf8_lossy(&body)
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sampled_traceparent_round_trips_through_the_trace_endpoints() {
+    let (server, _model, _hub) = served("edge");
+    let ctx = env2vec_obs::TraceContext::from_seed(42, true);
+    let mut conn = connect(&server);
+    let (status, _) = post_predict_traced(&mut conn, &request("edge", vec![row(0)]), &ctx.format());
+    assert_eq!(status, 200);
+
+    // The request was explicitly sampled, so the buffer must retain it
+    // under the propagated trace id (child spans keep the trace id).
+    let id = ctx.trace_id_hex();
+    let (status, body) = get(&mut conn, &format!("/trace/{id}"));
+    assert_eq!(status, 200, "retained trace must be resolvable: {body}");
+    assert!(body.contains(&id), "trace body must echo its id: {body}");
+    assert!(
+        body.contains("\"batch_role\""),
+        "trace record carries batch metadata: {body}"
+    );
+
+    // Unknown ids are a clean 404, not an error.
+    let (status, _) = get(&mut conn, "/trace/00000000000000000000000000000000");
+    assert_eq!(status, 404);
+
+    // The slow-trace listing is JSON with a retained count.
+    let (status, body) = get(&mut conn, "/traces/slow");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"retained\""), "{body}");
+    serde_json::parse_value(&body).expect("slow listing must be valid JSON");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_expose_batcher_occupancy_and_exemplars() {
+    let (server, _model, _hub) = served("edge");
+    let ctx = env2vec_obs::TraceContext::from_seed(7, true);
+    let mut conn = connect(&server);
+    let (status, _) = post_predict_traced(&mut conn, &request("edge", vec![row(0)]), &ctx.format());
+    assert_eq!(status, 200);
+    let (status, text) = get(&mut conn, "/metrics");
+    assert_eq!(status, 200);
+    for needle in [
+        "serve_batch_rows_bucket",
+        "serve_batch_window_fill_ratio",
+        "serve_batch_leader_total",
+        "serve_uptime_seconds",
+    ] {
+        assert!(
+            text.contains(needle),
+            "metrics must expose {needle}:\n{text}"
+        );
+    }
+    // The sampled request's trace id must surface as an exemplar on the
+    // request-latency histogram.
+    assert!(
+        text.contains(&format!("# {{trace_id=\"{}\"}}", ctx.trace_id_hex())),
+        "sampled trace id must appear as an exemplar:\n{text}"
+    );
     server.shutdown();
 }
 
